@@ -1,0 +1,192 @@
+(* The benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks — one [Test.make] per paper table/figure,
+      timing the computational kernel that dominates that experiment.
+   2. The experiment reproductions themselves: every table and figure of the
+      paper regenerated end-to-end via {!Monsoon_harness.Experiments} and
+      printed. Set MONSOON_PROFILE=quick for a fast smoke run; the default
+      profile is the full reproduction. *)
+
+open Bechamel
+open Monsoon_util
+open Monsoon_relalg
+open Monsoon_stats
+open Monsoon_core
+open Monsoon_baselines
+open Monsoon_workloads
+open Monsoon_harness
+
+(* --- Shared fixtures for the micro-kernels (built once) --- *)
+
+let sec23_query () =
+  let b = Query.Builder.create ~name:"sec2.3" in
+  let r = Query.Builder.rel b ~table:"R" ~alias:"R" in
+  let s = Query.Builder.rel b ~table:"S" ~alias:"S" in
+  let t = Query.Builder.rel b ~table:"T" ~alias:"T" in
+  let f1 = Query.Builder.term b (Udf.identity "a") [ (r, "a") ] in
+  let f2 = Query.Builder.term b (Udf.identity "b") [ (s, "b") ] in
+  let f3 = Query.Builder.term b (Udf.identity "c") [ (r, "c") ] in
+  let f4 = Query.Builder.term b (Udf.identity "d") [ (t, "d") ] in
+  Query.Builder.join_pred b f1 f2;
+  Query.Builder.join_pred b f3 f4;
+  Query.Builder.build b
+
+let sec23_q = sec23_query ()
+let sec23_raw = [| 1e6; 1e4; 1e4 |]
+
+let sec23_env () =
+  { Cost_model.count_of = (fun _ -> None);
+    raw_count = (fun i -> sec23_raw.(i));
+    distinct_of =
+      (fun ~term ~pred:_ ~c_own:_ ~c_partner:_ ->
+        match term.Term.id with 0 | 2 -> 1000.0 | 1 -> 1.0 | _ -> 1e4);
+    record_count = (fun _ _ -> ()) }
+
+let sec23_plan = Expr.join (Expr.join (Expr.base 0) (Expr.base 1)) (Expr.base 2)
+
+let sec23_ctx = { Mdp.query = sec23_q; raw_counts = sec23_raw }
+let sec23_sim = Simulator.create sec23_ctx Prior.spike_and_slab (Rng.create 9)
+
+let sec23_exec_state =
+  Mdp.apply_plan_edit (Mdp.init_state sec23_ctx)
+    (Mdp.Join_exec (Relset.singleton 0, Relset.singleton 1))
+
+let small_imdb = Imdb.workload { Imdb.seed = 5; scale = 0.05 }
+let imdb_q = Workload.find_query small_imdb "iq31"
+let imdb_defaults = Stats_source.defaults small_imdb.Workload.catalog imdb_q
+
+let ott_cfg = { Ott.seed = 5; scale = 0.05; domain = 50 }
+let small_ott = Ott.workload ott_cfg
+let ott_pair = List.hd small_ott.Workload.queries
+let ott_plan = Ott.hand_written (fst ott_pair) (snd ott_pair)
+
+let prior_rng = Rng.create 31
+let combine = Udf_library.combine_mod ~name:"bench_combo" ~modulus:25
+
+let combine_rows =
+  Array.init 1000 (fun i ->
+      [| Monsoon_storage.Value.Int i; Monsoon_storage.Value.Int (i * 7) |])
+
+let mcts_cfg =
+  { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 77)) with
+    Monsoon_mcts.Mcts.iterations = 100 }
+
+(* Tiny Runner rows for the aggregation kernels (tables 4 and 5). *)
+let synthetic_rows =
+  let outcome cost =
+    { Strategy.cost; timed_out = false; wall = 0.0; plan_time = 0.0;
+      stats_cost = 0.0; result_card = 0.0; plan = "" }
+  in
+  let cells f =
+    List.init 60 (fun i ->
+        { Runner.query = Printf.sprintf "q%d" i; outcome = Some (outcome (f i)) })
+  in
+  ( { Runner.strategy = "baseline"; cells = cells (fun i -> float_of_int (100 + i)) },
+    { Runner.strategy = "other"; cells = cells (fun i -> float_of_int (90 + (2 * i))) } )
+
+(* --- One Test.make per table / figure --- *)
+
+let tests =
+  let base, other = synthetic_rows in
+  Test.make_grouped ~name:"monsoon"
+    [ Test.make ~name:"table1/cost-model-eval"
+        (Staged.stage (fun () ->
+             let env = sec23_env () in
+             ignore (Cost_model.cost sec23_q env sec23_plan)));
+      Test.make ~name:"figure1/mdp-execute-transition"
+        (Staged.stage (fun () ->
+             ignore (Simulator.step sec23_sim sec23_exec_state Mdp.Execute)));
+      Test.make ~name:"figure2/prior-density-grid"
+        (Staged.stage (fun () ->
+             for i = 1 to 50 do
+               ignore (Prior.density Prior.low_biased ~x:(float_of_int i /. 51.0))
+             done));
+      Test.make ~name:"table2/spike-and-slab-sampling"
+        (Staged.stage (fun () ->
+             for _ = 1 to 100 do
+               ignore
+                 (Prior.sample Prior.spike_and_slab prior_rng ~c_own:1e5
+                    ~c_partner:(Some 1e3))
+             done));
+      Test.make ~name:"table3/selinger-dp-planning"
+        (Staged.stage (fun () ->
+             ignore (Planner.best_plan imdb_q imdb_defaults.Stats_source.env)));
+      Test.make ~name:"table4/relative-buckets"
+        (Staged.stage (fun () -> ignore (Runner.relative_buckets ~baseline:base other)));
+      Test.make ~name:"table5/top-k-selection"
+        (Staged.stage (fun () -> ignore (Runner.top_k_by ~baseline:base ~k:20)));
+      Test.make ~name:"table6/ott-expert-plan-execution"
+        (Staged.stage (fun () ->
+             let exec =
+               Monsoon_exec.Executor.create small_ott.Workload.catalog
+                 (snd ott_pair)
+                 (Monsoon_exec.Executor.budget 1e7)
+             in
+             ignore (Monsoon_exec.Executor.execute exec ott_plan)));
+      Test.make ~name:"table7/multi-instance-udf-eval"
+        (Staged.stage (fun () ->
+             Array.iter (fun row -> ignore (Udf.apply combine row)) combine_rows));
+      Test.make ~name:"figure3/series-rendering"
+        (Staged.stage (fun () ->
+             ignore
+               (Report.series ~title:"t" ~x_label:"x" ~y_label:"y"
+                  (List.init 25 (fun i -> (string_of_int i, float_of_int i))))));
+      Test.make ~name:"table8/mcts-planning-step"
+        (Staged.stage (fun () ->
+             ignore
+               (Monsoon_mcts.Mcts.plan mcts_cfg (Simulator.problem sec23_sim)
+                  (Mdp.init_state sec23_ctx)))) ]
+
+let run_microbenchmarks () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some [ t ] -> t | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline "=== Micro-benchmarks (one kernel per paper table/figure) ===";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-45s %s/run\n" name pretty)
+    rows;
+  print_newline ()
+
+(* --- Full experiment regeneration --- *)
+
+let profile () =
+  match Sys.getenv_opt "MONSOON_PROFILE" with
+  | Some "quick" -> Experiments.quick
+  | Some "full" | None -> Experiments.full
+  | Some other ->
+    Printf.eprintf "unknown MONSOON_PROFILE %S (quick|full); using full\n" other;
+    Experiments.full
+
+let () =
+  run_microbenchmarks ();
+  let profile = profile () in
+  Printf.printf "=== Experiment reproductions (profile: %s) ===\n\n%!"
+    profile.Experiments.label;
+  List.iter
+    (fun (id, descr, f) ->
+      let t0 = Timer.now () in
+      let output = f profile in
+      Printf.printf "--- %s: %s (%.1fs) ---\n%s\n%!" id descr
+        (Timer.now () -. t0) output)
+    Experiments.all

@@ -1,0 +1,66 @@
+(* Command-line front end: list and run the paper's experiments, or run a
+   single strategy against a single query for exploration. *)
+
+open Cmdliner
+open Monsoon_harness
+
+let profile_of_flag quick_flag =
+  if quick_flag then Experiments.quick else Experiments.full
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "%-20s %s\n" id descr)
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the quick (smoke-test) profile.")
+
+let experiment_cmd =
+  let doc = "Run one experiment (see `list')." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let run quick id =
+    match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
+    | None ->
+      Printf.eprintf "unknown experiment %s (try `list')\n" id;
+      exit 1
+    | Some (_, _, f) ->
+      let profile = profile_of_flag quick in
+      print_string (f profile);
+      print_newline ()
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ quick_flag $ id_arg)
+
+let all_cmd =
+  let doc = "Run every experiment in paper order." in
+  let run quick =
+    let profile = profile_of_flag quick in
+    List.iter
+      (fun (id, _, f) ->
+        Printf.printf "=== %s ===\n%s\n%!" id (f profile))
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+
+let demo_cmd =
+  let doc =
+    "Walk through the paper's Sec 2.3 example: the MDP, the chosen actions, \
+     and the resulting execution."
+  in
+  let run () =
+    print_string (Experiments.table1 ());
+    print_newline ();
+    print_string (Experiments.figure1 ())
+  in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
+  Cmd.group (Cmd.info "monsoon" ~doc) [ list_cmd; experiment_cmd; all_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Array Catalog List Monsoon_baselines Monsoon_relalg Monsoon_stats Monsoon_storage Monsoon_util Printf Prior Query Rng Schema Strategy String Table Udf Value

@@ -1,0 +1,1 @@
+examples/multi_step.ml: Array Catalog Driver List Monsoon_core Monsoon_mcts Monsoon_relalg Monsoon_storage Monsoon_util Printf Query Rng Schema Table Udf Value

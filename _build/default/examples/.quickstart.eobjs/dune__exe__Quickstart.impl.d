@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catalog Driver List Monsoon_core Monsoon_relalg Monsoon_storage Monsoon_util Printf Query Rng Schema Table Udf Value

@@ -1,0 +1,1 @@
+examples/torture.ml: List Monsoon_baselines Monsoon_relalg Monsoon_stats Monsoon_util Monsoon_workloads Ott Printf Prior Rng Strategy Workload

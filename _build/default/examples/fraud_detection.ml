@@ -1,0 +1,138 @@
+(* The paper's Sec 2.2 motivating scenario: find potentially fraudulent
+   pairs of identical orders placed on one day by customers who logged in
+   from the same city.
+
+       SELECT c1.name, c2.name
+       FROM   order o1, order o2, sess s1, sess s2
+       WHERE  Intersection(o1.items, o2.items) = Union(o1.items, o2.items)
+         AND  ExtractDate(o1.when) = '1/11/19'
+         AND  ExtractDate(o2.when) = '1/11/19'
+         AND  o1.cID = s1.cID AND o2.cID = s2.cID
+         AND  City(s1.ipAdd) = City(s2.ipAdd)
+
+   The item-set equality, the date extraction, and the city lookup are all
+   opaque UDFs over strings: no statistics exist for any predicate. (The
+   paper's o1.cID <> o2.cID inequality is a trivial post-filter and is
+   omitted — it does not interact with join ordering.)
+
+   Run with: dune exec examples/fraud_detection.exe *)
+
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+open Monsoon_baselines
+
+let item_pool = [| "hat"; "mug"; "pen"; "fan"; "bag"; "cap"; "toy"; "kit" |]
+
+(* The items column is a "|"-separated bag in arbitrary order; the UDF below
+   canonicalizes it — exactly the sort of set comparison the paper's
+   Intersection = Union trick expresses. *)
+let random_items rng =
+  let k = 1 + Rng.int rng 3 in
+  let picks = List.init k (fun _ -> item_pool.(Rng.int rng (Array.length item_pool))) in
+  String.concat "|" picks
+
+let canonical_items =
+  Udf.make "CanonicalItems" (function
+    | [| Value.Str s |] ->
+      Value.Str
+        (String.concat "|"
+           (List.sort_uniq compare (String.split_on_char '|' s)))
+    | _ -> Value.Null)
+
+let extract_date =
+  (* "d=20190111;t=0934" -> 20190111 *)
+  Udf.make "ExtractDate" (function
+    | [| Value.Str s |] -> (
+      match String.index_opt s '=' with
+      | Some i -> Value.Int (int_of_string (String.sub s (i + 1) 8))
+      | None -> Value.Null)
+    | _ -> Value.Null)
+
+let city =
+  (* "c17.s3.h99" -> "c17": sessions in the same /16 share a city. *)
+  Udf.make "City" (function
+    | [| Value.Str s |] -> (
+      match String.index_opt s '.' with
+      | Some i -> Value.Str (String.sub s 0 i)
+      | None -> Value.Null)
+    | _ -> Value.Null)
+
+let build_catalog rng =
+  let catalog = Catalog.create () in
+  let n_customers = 300 in
+  let orders_schema =
+    Schema.make
+      [ { Schema.name = "cID"; ty = Value.TInt };
+        { Schema.name = "when_"; ty = Value.TStr };
+        { Schema.name = "items"; ty = Value.TStr } ]
+  in
+  let orders =
+    Array.init 2_000 (fun _ ->
+        let day = 20190101 + Rng.int rng 20 in
+        [| Value.Int (Rng.int rng n_customers);
+           Value.Str (Printf.sprintf "d=%d;t=%04d" day (Rng.int rng 2400));
+           Value.Str (random_items rng) |])
+  in
+  Catalog.add catalog (Table.of_row_array ~name:"orders" orders_schema orders);
+  let sess_schema =
+    Schema.make
+      [ { Schema.name = "cID"; ty = Value.TInt };
+        { Schema.name = "ipAdd"; ty = Value.TStr } ]
+  in
+  let sessions =
+    Array.init 1_200 (fun _ ->
+        [| Value.Int (Rng.int rng n_customers);
+           Value.Str
+             (Printf.sprintf "c%d.s%d.h%d" (Rng.int rng 25) (Rng.int rng 50)
+                (Rng.int rng 250)) |])
+  in
+  Catalog.add catalog (Table.of_row_array ~name:"sess" sess_schema sessions);
+  catalog
+
+let build_query () =
+  let b = Query.Builder.create ~name:"fraud" in
+  let o1 = Query.Builder.rel b ~table:"orders" ~alias:"o1" in
+  let o2 = Query.Builder.rel b ~table:"orders" ~alias:"o2" in
+  let s1 = Query.Builder.rel b ~table:"sess" ~alias:"s1" in
+  let s2 = Query.Builder.rel b ~table:"sess" ~alias:"s2" in
+  Query.Builder.join_pred b
+    (Query.Builder.term b canonical_items [ (o1, "items") ])
+    (Query.Builder.term b canonical_items [ (o2, "items") ]);
+  Query.Builder.select_pred b
+    (Query.Builder.term b extract_date [ (o1, "when_") ])
+    (Value.Int 20190111);
+  Query.Builder.select_pred b
+    (Query.Builder.term b extract_date [ (o2, "when_") ])
+    (Value.Int 20190111);
+  Query.Builder.join_pred b
+    (Query.Builder.term b (Udf.identity "cID") [ (o1, "cID") ])
+    (Query.Builder.term b (Udf.identity "cID") [ (s1, "cID") ]);
+  Query.Builder.join_pred b
+    (Query.Builder.term b (Udf.identity "cID") [ (o2, "cID") ])
+    (Query.Builder.term b (Udf.identity "cID") [ (s2, "cID") ]);
+  Query.Builder.join_pred b
+    (Query.Builder.term b city [ (s1, "ipAdd") ])
+    (Query.Builder.term b city [ (s2, "ipAdd") ]);
+  Query.Builder.build b
+
+let () =
+  let catalog = build_catalog (Rng.create 1911) in
+  let query = build_query () in
+  let budget = 5e7 in
+  let run (s : Strategy.t) =
+    let out = s.Strategy.run ~rng:(Rng.create 3) ~budget catalog query in
+    Printf.printf "%-10s cost %-10s result %-6.0f %s\n" s.Strategy.name
+      (if out.Strategy.timed_out then "TIMEOUT" else Printf.sprintf "%.0f" out.Strategy.cost)
+      out.Strategy.result_card
+      (if String.length out.Strategy.plan > 100 then
+         String.sub out.Strategy.plan 0 100 ^ "…"
+       else out.Strategy.plan)
+  in
+  print_endline "Fraud-detection query (4 instances, every predicate obscured by UDFs):";
+  List.iter run
+    [ Strategy.monsoon ~iterations:1500 Prior.spike_and_slab;
+      Strategy.greedy;
+      Strategy.defaults;
+      Strategy.sampling ]

@@ -1,0 +1,66 @@
+(* Quickstart: the smallest end-to-end Monsoon program.
+
+   We build a three-table database, write a query whose join keys are
+   opaque UDFs (so no statistics exist), and let the Monsoon optimizer
+   interleave planning, statistics collection, and execution.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_core
+
+let () =
+  let rng = Rng.create 2020 in
+
+  (* 1. A catalog of base tables. *)
+  let catalog = Catalog.create () in
+  let int_table name cols n gen =
+    let schema =
+      Schema.make (List.map (fun c -> { Schema.name = c; ty = Value.TInt }) cols)
+    in
+    Catalog.add catalog (Table.of_row_array ~name schema (Array.init n gen))
+  in
+  (* users(uid, region): 5 000 users in 40 regions. *)
+  int_table "users" [ "uid"; "region" ] 5_000 (fun i ->
+      [| Value.Int i; Value.Int (Rng.int rng 40) |]);
+  (* events(uid, kind): 20 000 events, heavily concentrated on few kinds. *)
+  int_table "events" [ "uid"; "kind" ] 20_000 (fun _ ->
+      [| Value.Int (Rng.int rng 5_000); Value.Int (Rng.int rng 8) |]);
+  (* regions(rid): tiny dimension table. *)
+  int_table "regions" [ "rid" ] 40 (fun i -> [| Value.Int i |]);
+
+  (* 2. A query. The UDF [bucket] is a black box to the optimizer: it has
+     no idea how many distinct values it produces. *)
+  let bucket =
+    Udf.make "bucket" (function
+      | [| Value.Int uid |] -> Value.Int (uid mod 1_000)
+      | _ -> Value.Null)
+  in
+  let b = Query.Builder.create ~name:"quickstart" in
+  let u = Query.Builder.rel b ~table:"users" ~alias:"u" in
+  let e = Query.Builder.rel b ~table:"events" ~alias:"e" in
+  let r = Query.Builder.rel b ~table:"regions" ~alias:"r" in
+  let t_u = Query.Builder.term b (Udf.identity "uid") [ (u, "uid") ] in
+  let t_e = Query.Builder.term b bucket [ (e, "uid") ] in
+  let t_ur = Query.Builder.term b (Udf.identity "region") [ (u, "region") ] in
+  let t_r = Query.Builder.term b (Udf.identity "rid") [ (r, "rid") ] in
+  Query.Builder.join_pred b t_u t_e;        (* u.uid = bucket(e.uid) *)
+  Query.Builder.join_pred b t_ur t_r;       (* u.region = r.rid *)
+  Query.Builder.select_pred b
+    (Query.Builder.term b (Udf.identity "kind") [ (e, "kind") ])
+    (Value.Int 3);
+  let query = Query.Builder.build b in
+
+  (* 3. Run the Monsoon optimizer. *)
+  let config = Driver.default_config ~rng:(Rng.create 7) in
+  let outcome = Driver.run config catalog query in
+
+  Printf.printf "result cardinality : %.0f\n" outcome.Driver.result_card;
+  Printf.printf "intermediate objects: %.0f (Σ passes: %.0f)\n"
+    outcome.Driver.cost outcome.Driver.stats_cost;
+  Printf.printf "EXECUTE steps      : %d\n" outcome.Driver.executes;
+  Printf.printf "planning time      : %.3fs\n" outcome.Driver.mcts_time;
+  print_endline "action trace:";
+  List.iter (fun a -> Printf.printf "  %s\n" a) outcome.Driver.actions

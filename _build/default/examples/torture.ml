@@ -1,0 +1,37 @@
+(* A miniature Optimizer Torture Test (Wu et al.; paper Table 6).
+
+   Every OTT query's result is provably empty, but the correlated column
+   pairs fool independence-assuming estimators, and careless join orders
+   generate enormous intermediates. This example runs one torture query
+   under the hand-written expert plan, Monsoon, Defaults, and Greedy,
+   showing who stays cheap and who burns the budget.
+
+   Run with: dune exec examples/torture.exe *)
+
+open Monsoon_util
+open Monsoon_stats
+open Monsoon_baselines
+open Monsoon_workloads
+
+let () =
+  let cfg = { Ott.seed = 99; scale = 0.3; domain = 100 } in
+  let w = Ott.workload cfg in
+  let budget = 1e6 in
+  let qname = "oq15" in
+  let q = Workload.find_query w qname in
+  Printf.printf "OTT query %s (%d instances, empty result, budget %.0f):\n\n"
+    qname (Monsoon_relalg.Query.n_rels q) budget;
+  let strategies =
+    [ Strategy.fixed_plan ~name:"Hand-written" (fun q -> Ott.hand_written qname q);
+      Strategy.monsoon ~iterations:1000 Prior.spike_and_slab;
+      Strategy.defaults;
+      Strategy.greedy;
+      Strategy.skinner ]
+  in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let out = s.Strategy.run ~rng:(Rng.create 21) ~budget w.Workload.catalog q in
+      Printf.printf "%-13s %s\n" s.Strategy.name
+        (if out.Strategy.timed_out then "TIMEOUT (budget exhausted)"
+         else Printf.sprintf "cost %-9.0f result %.0f" out.Strategy.cost out.Strategy.result_card))
+    strategies

@@ -1,0 +1,1 @@
+lib/baselines/lec.ml: Array Catalog Cost_model Expr Hashtbl List Monsoon_relalg Monsoon_stats Monsoon_storage Monsoon_util Planner Prior Query Strategy Table Term Timer

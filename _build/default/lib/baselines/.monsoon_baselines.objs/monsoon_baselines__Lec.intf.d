@@ -1,0 +1,1 @@
+lib/baselines/lec.mli: Catalog Expr Monsoon_relalg Monsoon_stats Monsoon_storage Monsoon_util Prior Query Strategy

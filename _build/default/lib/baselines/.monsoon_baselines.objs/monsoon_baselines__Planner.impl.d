@@ -1,0 +1,1 @@
+lib/baselines/planner.ml: Cost_model Expr Hashtbl List Monsoon_relalg Option Query Relset

@@ -1,0 +1,1 @@
+lib/baselines/planner.mli: Cost_model Expr Monsoon_relalg Query

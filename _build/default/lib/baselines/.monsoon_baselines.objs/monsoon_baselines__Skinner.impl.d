@@ -1,0 +1,1 @@
+lib/baselines/skinner.ml: Executor Expr Float Fun Hashtbl Intermediate List Monsoon_exec Monsoon_relalg Monsoon_util Option Query Relset Rng

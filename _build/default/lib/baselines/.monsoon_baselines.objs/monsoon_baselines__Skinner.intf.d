@@ -1,0 +1,1 @@
+lib/baselines/skinner.mli: Catalog Monsoon_relalg Monsoon_storage Monsoon_util Query

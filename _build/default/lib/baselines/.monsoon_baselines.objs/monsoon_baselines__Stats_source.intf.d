@@ -1,0 +1,1 @@
+lib/baselines/stats_source.mli: Catalog Cost_model Monsoon_relalg Monsoon_storage Monsoon_util Query

@@ -1,0 +1,1 @@
+lib/baselines/strategy.mli: Catalog Expr Monsoon_mcts Monsoon_relalg Monsoon_stats Monsoon_storage Monsoon_util Query

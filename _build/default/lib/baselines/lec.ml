@@ -1,0 +1,62 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+
+(* One sampled statistics environment: every unknown distinct count resolves
+   to a prior draw, memoized per (term, predicate) so the sample is
+   internally consistent; result counts memoize per mask as usual. *)
+let sampled_env rng prior catalog q =
+  let raw =
+    Array.map
+      (fun r -> float_of_int (Table.cardinality (Catalog.find catalog r.Query.table)))
+      (Query.rels q)
+  in
+  let counts = Hashtbl.create 32 in
+  let distincts : (int * int option, float) Hashtbl.t = Hashtbl.create 16 in
+  { Cost_model.count_of = (fun mask -> Hashtbl.find_opt counts mask);
+    raw_count = (fun i -> raw.(i));
+    distinct_of =
+      (fun ~term ~pred ~c_own ~c_partner ->
+        let key = (term.Term.id, pred) in
+        match Hashtbl.find_opt distincts key with
+        | Some d -> d
+        | None ->
+          let d = Prior.sample prior rng ~c_own ~c_partner in
+          Hashtbl.replace distincts key d;
+          d);
+    record_count = (fun mask c -> Hashtbl.replace counts mask c) }
+
+let choose_plan ?(k = 12) ?(k2 = 40) ~rng ~prior catalog q =
+  (* Candidate generation: the optimal plan under each of k sampled
+     worlds. *)
+  let candidates = Hashtbl.create 8 in
+  for _ = 1 to k do
+    let plan = Planner.best_plan q (sampled_env rng prior catalog q) in
+    Hashtbl.replace candidates (Expr.key plan) plan
+  done;
+  (* Scoring: common random numbers — every candidate is costed under the
+     same k2 fresh worlds. *)
+  let worlds = Array.init k2 (fun _ -> sampled_env rng prior catalog q) in
+  let expected_cost plan =
+    Array.fold_left (fun acc env -> acc +. Cost_model.cost q env plan) 0.0 worlds
+    /. float_of_int k2
+  in
+  Hashtbl.fold (fun _ plan acc -> plan :: acc) candidates []
+  |> List.map (fun p -> (p, expected_cost p))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  |> function
+  | (best, _) :: _ -> best
+  | [] -> invalid_arg "Lec.choose_plan: no candidates"
+
+let strategy prior =
+  { Strategy.name = "LEC";
+    applicable = (fun _ -> true);
+    run =
+      (fun ~rng ~budget catalog q ->
+        let t0 = Timer.now () in
+        let plan, plan_time =
+          Timer.time (fun () -> choose_plan ~rng ~prior catalog q)
+        in
+        Strategy.execute_plan ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q
+          plan) }

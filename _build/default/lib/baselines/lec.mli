@@ -1,0 +1,33 @@
+(** Least-expected-cost optimization (Chu, Halpern & Gehrke; the paper's
+    Sec 2.3 contrast).
+
+    LEC uses the same priors as Monsoon but picks a *single* plan up front:
+    the one minimizing the expected cost under the prior, with no option to
+    collect statistics or re-plan. The paper's walkthrough shows why this is
+    weaker — rows 2 and 3 of Table 1 have equal expected cost, so no fixed
+    plan avoids the 10x mistake — and this module exists to measure that gap
+    (the `ablation-lec` experiment).
+
+    Implementation: candidate plans are gathered by solving the join-order
+    problem under [k] independently sampled statistics environments (each
+    sample resolves every unknown distinct count by a prior draw); each
+    distinct candidate is then scored by its average cost across [k2] fresh
+    samples, and the argmin is executed. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+
+val choose_plan :
+  ?k:int ->
+  ?k2:int ->
+  rng:Monsoon_util.Rng.t ->
+  prior:Prior.t ->
+  Catalog.t ->
+  Query.t ->
+  Expr.t
+(** The least-expected-cost plan ([k] defaults to 12 candidate-generating
+    samples, [k2] to 40 scoring samples). *)
+
+val strategy : Prior.t -> Strategy.t
+(** LEC as a benchmark strategy ("LEC"), sharing Monsoon's prior. *)

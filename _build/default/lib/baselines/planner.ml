@@ -1,0 +1,85 @@
+open Monsoon_relalg
+
+let plan_cost q env e = Cost_model.cost q env e
+
+(* Splits of [m] into two disjoint non-empty halves, each half yielded once
+   (the half containing the lowest bit is [s1]). Cross-product splits are
+   dropped when a connected split exists, mirroring standard
+   cross-product-averse enumeration. *)
+let splits q m =
+  let lowest = Relset.singleton (Relset.min_elt m) in
+  let halves =
+    Relset.subsets_nonempty m
+    |> List.filter (fun s1 ->
+           Relset.subset lowest s1 && not (Relset.equal s1 m))
+    |> List.map (fun s1 -> (s1, m land lnot s1))
+  in
+  let connected = List.filter (fun (a, b) -> Query.connected q a b) halves in
+  if connected <> [] then connected else halves
+
+let best_plan q env =
+  let n = Query.n_rels q in
+  if n > 20 then invalid_arg "Planner.best_plan: too many instances";
+  let full = Query.all_mask q in
+  (* best.(m) = (plan, internal cost including m's own materialization) *)
+  let best = Hashtbl.create (1 lsl n) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace best (Relset.singleton i) (Expr.base i, 0.0)
+  done;
+  let masks =
+    Relset.subsets_nonempty full
+    |> List.filter (fun m -> Relset.cardinal m >= 2)
+    |> List.sort (fun a b -> compare (Relset.cardinal a) (Relset.cardinal b))
+  in
+  List.iter
+    (fun m ->
+      let candidates =
+        List.filter_map
+          (fun (s1, s2) ->
+            match (Hashtbl.find_opt best s1, Hashtbl.find_opt best s2) with
+            | Some (p1, c1), Some (p2, c2) ->
+              let plan = Expr.join p1 p2 in
+              let card = Cost_model.estimate q env plan in
+              Some (plan, card +. c1 +. c2)
+            | _ -> None)
+          (splits q m)
+      in
+      match candidates with
+      | [] -> ()
+      | _ ->
+        let best_c =
+          List.fold_left
+            (fun acc (p, c) ->
+              match acc with
+              | None -> Some (p, c)
+              | Some (_, c') -> if c < c' then Some (p, c) else acc)
+            None candidates
+        in
+        Hashtbl.replace best m (Option.get best_c))
+    masks;
+  match Hashtbl.find_opt best full with
+  | Some (plan, _) -> plan
+  | None -> invalid_arg "Planner.best_plan: no plan found"
+
+let brute_force_best q env =
+  let full = Query.all_mask q in
+  let rec plans m =
+    if Relset.cardinal m = 1 then [ Expr.leaf m ]
+    else
+      List.concat_map
+        (fun (s1, s2) ->
+          List.concat_map
+            (fun p1 -> List.map (fun p2 -> Expr.join p1 p2) (plans s2))
+            (plans s1))
+        (splits q m)
+  in
+  let all = plans full in
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | None -> Some p
+      | Some best ->
+        if Cost_model.cost q env p < Cost_model.cost q env best then Some p
+        else acc)
+    None all
+  |> Option.get

@@ -1,0 +1,21 @@
+(** System-R-style join-order optimization by dynamic programming over
+    instance subsets (bushy plans, cross products only when no connected
+    split exists). This is the classical optimizer every plan-once baseline
+    shares; only the statistics source differs. *)
+
+open Monsoon_relalg
+
+val best_plan : Query.t -> Cost_model.env -> Expr.t
+(** The minimum-estimated-cost plan for the complete query under the given
+    statistics. Cost is the paper's intermediate-object count (the final
+    result is free, so plan ranking matches Sec 4.4). Raises
+    [Invalid_argument] on queries with more than 20 instances. *)
+
+val plan_cost : Query.t -> Cost_model.env -> Expr.t -> float
+(** Estimated cost of an arbitrary plan under the same statistics
+    (re-exported from {!Cost_model.cost} for convenience). *)
+
+val brute_force_best : Query.t -> Cost_model.env -> Expr.t
+(** Exhaustive enumeration of all bushy plans (no pruning) — exponentially
+    slower; used to validate the DP in tests. Only viable for up to ~6
+    instances. *)

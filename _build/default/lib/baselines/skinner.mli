@@ -1,0 +1,30 @@
+(** A faithful-in-spirit simulation of SkinnerDB's generic variant
+    (Skinner-G) running on top of a batch engine.
+
+    Skinner-G learns a left-deep join order online: execution proceeds in
+    episodes with geometrically growing time slices; each episode picks an
+    order via UCT over order prefixes and runs it from scratch (a batch
+    engine cannot pause and resume partial joins — exactly the mismatch the
+    paper identifies), discarding partial work when the slice expires. The
+    total objects processed across every episode is the strategy's cost. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+
+type config = {
+  rng : Monsoon_util.Rng.t;
+  initial_slice : float;  (** tuple budget of the first episode *)
+  growth : float;  (** slice multiplier per episode (2.0 = doubling) *)
+  exploration : float;  (** UCT weight over order prefixes *)
+}
+
+val default_config : rng:Monsoon_util.Rng.t -> config
+
+type outcome = {
+  cost : float;  (** objects processed across all episodes *)
+  timed_out : bool;
+  episodes : int;
+  result_card : float;
+}
+
+val run : config -> budget:float -> Catalog.t -> Query.t -> outcome

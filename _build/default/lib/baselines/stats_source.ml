@@ -1,0 +1,212 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_sketch
+
+type t = {
+  env : Cost_model.env;
+  acquisition_cost : float;
+  inapplicable : bool;
+}
+
+let raw_counts catalog q =
+  Array.map
+    (fun r -> float_of_int (Table.cardinality (Catalog.find catalog r.Query.table)))
+    (Query.rels q)
+
+(* All terms that matter: participating in at least one predicate. *)
+let interesting_terms q =
+  Array.to_list (Query.terms q)
+  |> List.filter (fun tm -> Query.preds_of_term q tm.Term.id <> [])
+
+let has_multi_instance_terms q =
+  List.exists (fun tm -> not (Term.is_single_rel tm)) (interesting_terms q)
+
+(* Deterministic env: [d_of term ~c_own] supplies distinct counts, result
+   counts are memoized locally so the same mask is estimated once. *)
+let make_env catalog q ~d_of =
+  let raw = raw_counts catalog q in
+  let memo = Hashtbl.create 32 in
+  { Cost_model.count_of = (fun mask -> Hashtbl.find_opt memo mask);
+    raw_count = (fun i -> raw.(i));
+    distinct_of =
+      (fun ~term ~pred:_ ~c_own ~c_partner:_ -> d_of term ~c_own);
+    record_count = (fun mask c -> Hashtbl.replace memo mask c) }
+
+(* Evaluate a single-instance term over its base table's rows. *)
+let base_term_values catalog q tm =
+  let rel = Relset.min_elt (Term.rels tm) in
+  let table = Catalog.find catalog (Query.rel_by_id q rel).Query.table in
+  let schema = Table.schema table in
+  let ev =
+    Term.compile tm ~col_index:(fun ~rel:_ ~col -> Schema.index_of schema col)
+  in
+  (table, ev)
+
+let default_fraction c_own = 0.1 *. c_own
+
+let exact catalog q =
+  let known = Hashtbl.create 8 in
+  List.iter
+    (fun tm ->
+      if Term.is_single_rel tm then begin
+        let table, ev = base_term_values catalog q tm in
+        let seen = Hashtbl.create 1024 in
+        Table.iter (fun row -> Hashtbl.replace seen (ev row) ()) table;
+        Hashtbl.replace known tm.Term.id (float_of_int (Hashtbl.length seen))
+      end)
+    (interesting_terms q);
+  let d_of tm ~c_own =
+    match Hashtbl.find_opt known tm.Term.id with
+    | Some d -> d
+    | None -> default_fraction c_own
+  in
+  { env = make_env catalog q ~d_of;
+    acquisition_cost = 0.0;
+    inapplicable = has_multi_instance_terms q }
+
+let defaults catalog q =
+  { env = make_env catalog q ~d_of:(fun _ ~c_own -> default_fraction c_own);
+    acquisition_cost = 0.0;
+    inapplicable = false }
+
+let on_demand catalog q =
+  let known = Hashtbl.create 8 in
+  let scanned = Hashtbl.create 8 in
+  List.iter
+    (fun tm ->
+      if Term.is_single_rel tm then begin
+        let table, ev = base_term_values catalog q tm in
+        let hll = Hyperloglog.create ~p:14 () in
+        Table.iter (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row))) table;
+        Hashtbl.replace known tm.Term.id (Float.max 1.0 (Hyperloglog.count hll));
+        Hashtbl.replace scanned (Relset.min_elt (Term.rels tm)) ()
+      end)
+    (interesting_terms q);
+  (* One statistics pass per scanned instance (a single pass computes every
+     term on that instance). *)
+  let raw = raw_counts catalog q in
+  let acquisition_cost =
+    Hashtbl.fold (fun rel () acc -> acc +. raw.(rel)) scanned 0.0
+  in
+  let d_of tm ~c_own =
+    match Hashtbl.find_opt known tm.Term.id with
+    | Some d -> Float.min d c_own
+    | None -> default_fraction c_own
+  in
+  { env = make_env catalog q ~d_of;
+    acquisition_cost;
+    inapplicable = has_multi_instance_terms q }
+
+let block_sample rng rows k =
+  let n = Array.length rows in
+  if n <= k then Array.copy rows
+  else begin
+    (* Block-based: a contiguous run from a random offset (wrapping), the
+       cheap single-seek sampling the paper uses for efficiency. *)
+    let start = Rng.int rng n in
+    Array.init k (fun i -> rows.((start + i) mod n))
+  end
+
+let sampling rng ?(fraction = 0.02) ?(cap = 200_000) ?(product_cap = 1_000_000)
+    catalog q =
+  let raw = raw_counts catalog q in
+  let cost = ref 0.0 in
+  (* Per-instance subsamples, reused across terms. *)
+  let samples = Hashtbl.create 8 in
+  let sample_of rel =
+    match Hashtbl.find_opt samples rel with
+    | Some s -> s
+    | None ->
+      let table = Catalog.find catalog (Query.rel_by_id q rel).Query.table in
+      let n = Table.cardinality table in
+      let k = min cap (max 1 (int_of_float (ceil (fraction *. float_of_int n)))) in
+      let s = block_sample rng (Table.rows table) k in
+      cost := !cost +. float_of_int (Array.length s);
+      Hashtbl.replace samples rel s;
+      s
+  in
+  let known = Hashtbl.create 8 in
+  List.iter
+    (fun tm ->
+      let rels = Relset.to_list (Term.rels tm) in
+      match rels with
+      | [ rel ] ->
+        let s = sample_of rel in
+        let table = Catalog.find catalog (Query.rel_by_id q rel).Query.table in
+        let schema = Table.schema table in
+        let ev =
+          Term.compile tm ~col_index:(fun ~rel:_ ~col -> Schema.index_of schema col)
+        in
+        let rendered = Array.map (fun row -> Value.to_string (ev row)) s in
+        let d =
+          Distinct_estimator.gee ~population:(Table.cardinality table) rendered
+        in
+        Hashtbl.replace known tm.Term.id d
+      | rels ->
+        (* Multi-instance UDF: materialize (a cap of) the product of the
+           subsamples and apply the UDF to the materialized tuples. *)
+        let subsamples = List.map sample_of rels in
+        let widths =
+          List.map
+            (fun rel ->
+              let table = Catalog.find catalog (Query.rel_by_id q rel).Query.table in
+              Schema.arity (Table.schema table))
+            rels
+        in
+        let offsets =
+          let acc = ref 0 in
+          List.map2
+            (fun rel w ->
+              let o = !acc in
+              acc := !acc + w;
+              (rel, o))
+            rels widths
+        in
+        let table_of rel = Catalog.find catalog (Query.rel_by_id q rel).Query.table in
+        let ev =
+          Term.compile tm ~col_index:(fun ~rel ~col ->
+              List.assoc rel offsets + Schema.index_of (Table.schema (table_of rel)) col)
+        in
+        let width = List.fold_left ( + ) 0 widths in
+        let out = ref [] in
+        let produced = ref 0 in
+        let row = Array.make width Value.Null in
+        let rec product offs = function
+          | [] ->
+            if !produced < product_cap then begin
+              incr produced;
+              out := Value.to_string (ev row) :: !out
+            end
+          | s :: rest ->
+            let w = Array.length (s : Table.row array).(0) in
+            Array.iter
+              (fun r ->
+                if !produced < product_cap then begin
+                  Array.blit r 0 row offs w;
+                  product (offs + w) rest
+                end)
+              s
+        in
+        (match subsamples with
+        | [] -> ()
+        | _ when List.exists (fun s -> Array.length s = 0) subsamples -> ()
+        | _ -> product 0 subsamples);
+        cost := !cost +. float_of_int !produced;
+        let population =
+          List.fold_left
+            (fun acc rel -> acc *. raw.(rel))
+            1.0 rels
+          |> int_of_float
+        in
+        let d =
+          Distinct_estimator.gee ~population (Array.of_list !out)
+        in
+        Hashtbl.replace known tm.Term.id d)
+    (interesting_terms q);
+  let d_of tm ~c_own =
+    match Hashtbl.find_opt known tm.Term.id with
+    | Some d -> Float.min d c_own
+    | None -> default_fraction c_own
+  in
+  { env = make_env catalog q ~d_of; acquisition_cost = !cost; inapplicable = false }

@@ -1,0 +1,49 @@
+(** Statistics sources for the classical (plan-once) optimizers.
+
+    Each source yields a deterministic {!Monsoon_relalg.Cost_model.env}
+    (memoizing result counts locally) plus the object-count price paid to
+    acquire the statistics — zero for offline/"free" statistics, one pass
+    per table for the HyperLogLog pre-pass, the tuples drawn for sampling. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+
+type t = {
+  env : Cost_model.env;
+  acquisition_cost : float;
+      (** objects processed to gather the statistics (charged at runtime) *)
+  inapplicable : bool;
+      (** true when the source cannot honestly provide its statistics —
+          e.g. a single-pass pre-scan facing a multi-instance UDF *)
+}
+
+val has_multi_instance_terms : Query.t -> bool
+(** Does any predicate-participating term span several instances? Single-
+    pass pre-collection strategies cannot measure those. *)
+
+val exact : Catalog.t -> Query.t -> t
+(** Full statistics computed offline (the paper's "Postgres" baseline):
+    exact distinct counts for every single-instance term, free of charge.
+    [inapplicable] when the query has multi-instance terms (the paper drops
+    this option on the UDF benchmark). *)
+
+val defaults : Catalog.t -> Query.t -> t
+(** The magic constant: every distinct count is 10 % of the row count. *)
+
+val on_demand : Catalog.t -> Query.t -> t
+(** HyperLogLog pre-pass over every base instance hosting an interesting
+    single-instance term; charged one scan per such instance.
+    [inapplicable] when multi-instance terms exist. *)
+
+val sampling :
+  Monsoon_util.Rng.t ->
+  ?fraction:float ->
+  ?cap:int ->
+  ?product_cap:int ->
+  Catalog.t ->
+  Query.t ->
+  t
+(** Block sampling (2 % of each instance, capped at 200k tuples) with the
+    Charikar-et-al. GEE distinct estimator; multi-instance terms are
+    estimated from a capped materialized product of the per-instance
+    subsamples (default cap 1e6 tuples), as the paper describes. *)

@@ -1,0 +1,186 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_exec
+
+type outcome = {
+  cost : float;
+  timed_out : bool;
+  wall : float;
+  plan_time : float;
+  stats_cost : float;
+  result_card : float;
+  plan : string;
+}
+
+type t = {
+  name : string;
+  applicable : Query.t -> bool;
+  run : rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
+}
+
+let always_applicable _ = true
+
+(* Execute a chosen plan, charging [stats_cost] up front against the
+   budget. *)
+let execute_plan ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
+  let bud = Executor.budget (budget -. stats_cost) in
+  let exec = Executor.create catalog q bud in
+  match Executor.execute exec plan with
+  | exception Executor.Timeout ->
+    { cost = budget;
+      timed_out = true;
+      wall = Timer.now () -. t0;
+      plan_time;
+      stats_cost;
+      result_card = 0.0;
+      plan = Expr.describe q plan }
+  | cost, _obs ->
+    let result_card =
+      match Executor.materialized exec (Query.all_mask q) with
+      | Some inter -> float_of_int (Intermediate.cardinality inter)
+      | None -> 0.0
+    in
+    { cost = cost +. stats_cost;
+      timed_out = false;
+      wall = Timer.now () -. t0;
+      plan_time;
+      stats_cost;
+      result_card;
+      plan = Expr.describe q plan }
+
+(* A plan-once strategy: build a statistics source, run the DP, execute. *)
+let classical name ~applicable source =
+  { name;
+    applicable;
+    run =
+      (fun ~rng ~budget catalog q ->
+        let t0 = Timer.now () in
+        let (src : Stats_source.t), src_time =
+          Timer.time (fun () -> source rng catalog q)
+        in
+        let plan, dp_time = Timer.time (fun () -> Planner.best_plan q src.Stats_source.env) in
+        execute_plan ~t0 ~plan_time:(src_time +. dp_time)
+          ~stats_cost:src.Stats_source.acquisition_cost ~budget catalog q plan) }
+
+let postgres =
+  classical "Postgres"
+    ~applicable:(fun q -> not (Stats_source.has_multi_instance_terms q))
+    (fun _rng catalog q -> Stats_source.exact catalog q)
+
+let defaults =
+  classical "Defaults" ~applicable:always_applicable (fun _rng catalog q ->
+      Stats_source.defaults catalog q)
+
+(* On-Demand cannot handle multi-instance UDFs without materializing cross
+   products; the paper drops it there. *)
+let on_demand =
+  classical "On Demand"
+    ~applicable:(fun q -> not (Stats_source.has_multi_instance_terms q))
+    (fun _rng catalog q -> Stats_source.on_demand catalog q)
+
+let sampling =
+  classical "Sampling" ~applicable:always_applicable (fun rng catalog q ->
+      Stats_source.sampling rng catalog q)
+
+(* Greedy (paper Sec 6.2.2): start from the smallest instance; repeatedly
+   attach the smallest not-yet-joined instance that avoids a cross product
+   (unless a cross product is unavoidable). Left-deep; uses only set
+   sizes. *)
+let greedy_plan catalog q =
+  let n = Query.n_rels q in
+  let size i =
+    Table.cardinality (Catalog.find catalog (Query.rel_by_id q i).Query.table)
+  in
+  let by_size = List.sort (fun a b -> compare (size a) (size b)) (List.init n Fun.id) in
+  match by_size with
+  | [] -> invalid_arg "greedy: empty query"
+  | first :: _ ->
+    let rec go acc mask remaining =
+      if remaining = [] then acc
+      else begin
+        let connected =
+          List.filter (fun i -> Query.connected q mask (Relset.singleton i)) remaining
+        in
+        let pool = if connected <> [] then connected else remaining in
+        let next = List.hd pool (* pools keep the by-size order *) in
+        go (Expr.join acc (Expr.base next))
+          (Relset.add next mask)
+          (List.filter (fun j -> j <> next) remaining)
+      end
+    in
+    go (Expr.base first) (Relset.singleton first)
+      (List.filter (fun j -> j <> first) by_size)
+
+let greedy =
+  { name = "Greedy";
+    applicable = always_applicable;
+    run =
+      (fun ~rng:_ ~budget catalog q ->
+        let t0 = Timer.now () in
+        let plan, plan_time = Timer.time (fun () -> greedy_plan catalog q) in
+        execute_plan ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q plan) }
+
+let skinner =
+  { name = "SkinnerDB";
+    applicable = always_applicable;
+    run =
+      (fun ~rng ~budget catalog q ->
+        let t0 = Timer.now () in
+        let out = Skinner.run (Skinner.default_config ~rng) ~budget catalog q in
+        { cost = out.Skinner.cost;
+          timed_out = out.Skinner.timed_out;
+          wall = Timer.now () -. t0;
+          plan_time = 0.0;
+          stats_cost = 0.0;
+          result_card = out.Skinner.result_card;
+          plan = Printf.sprintf "%d episodes" out.Skinner.episodes }) }
+
+let monsoon ?(iterations = 2000) ?(scale_with_size = true)
+    ?(selection = Monsoon_mcts.Mcts.Uct (sqrt 2.0)) prior =
+  { name = "Monsoon";
+    applicable = always_applicable;
+    run =
+      (fun ~rng ~budget catalog q ->
+        (* MCTS effort scales with the size of the join-order problem: the
+           action space roughly squares with the instance count. *)
+        let iterations =
+          if not scale_with_size then iterations
+          else if Query.n_rels q >= 7 then iterations * 3
+          else if Query.n_rels q >= 6 then iterations * 2
+          else iterations
+        in
+        let mcts =
+          { (Monsoon_mcts.Mcts.default_config ~rng) with
+            Monsoon_mcts.Mcts.iterations;
+            selection }
+        in
+        let config =
+          { Monsoon_core.Driver.prior;
+            prior_of = None;
+            known_distincts = [];
+            mcts;
+            budget;
+            max_steps = 200;
+            verbose = false }
+        in
+        let out = Monsoon_core.Driver.run config catalog q in
+        { cost = out.Monsoon_core.Driver.cost;
+          timed_out = out.Monsoon_core.Driver.timed_out;
+          wall = out.Monsoon_core.Driver.wall;
+          plan_time = out.Monsoon_core.Driver.mcts_time;
+          stats_cost = out.Monsoon_core.Driver.stats_cost;
+          result_card = out.Monsoon_core.Driver.result_card;
+          plan = String.concat " | " out.Monsoon_core.Driver.actions }) }
+
+let fixed_plan ~name plan_of =
+  { name;
+    applicable = always_applicable;
+    run =
+      (fun ~rng:_ ~budget catalog q ->
+        let t0 = Timer.now () in
+        execute_plan ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget catalog q
+          (plan_of q)) }
+
+let standard_seven prior =
+  [ postgres; defaults; greedy; monsoon prior; on_demand; sampling; skinner ]

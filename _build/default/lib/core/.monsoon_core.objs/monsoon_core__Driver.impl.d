@@ -1,0 +1,1 @@
+lib/core/driver.ml: Executor Expr Intermediate List Logs Mdp Monsoon_exec Monsoon_mcts Monsoon_relalg Monsoon_stats Monsoon_util Prior Query Relset Simulator Stats_catalog Timer

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Catalog Monsoon_mcts Monsoon_relalg Monsoon_stats Monsoon_storage Monsoon_util Prior Query

@@ -1,0 +1,1 @@
+lib/core/mdp.ml: Array Catalog Expr List Monsoon_relalg Monsoon_stats Monsoon_storage Printf Query Relset Stats_catalog String Table Term

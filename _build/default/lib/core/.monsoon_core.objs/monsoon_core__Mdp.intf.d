@@ -1,0 +1,1 @@
+lib/core/mdp.mli: Catalog Expr Monsoon_relalg Monsoon_stats Monsoon_storage Query Relset Stats_catalog

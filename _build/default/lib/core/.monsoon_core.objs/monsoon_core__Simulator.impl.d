@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Cost_model Expr List Mdp Monsoon_mcts Monsoon_relalg Monsoon_stats Monsoon_util Predicate Prior Query Relset Rng Stats_catalog Term

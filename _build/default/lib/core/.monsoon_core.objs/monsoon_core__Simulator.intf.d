@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Mdp Monsoon_mcts Monsoon_stats Monsoon_util Prior Rng

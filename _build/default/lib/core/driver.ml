@@ -1,0 +1,153 @@
+open Monsoon_util
+open Monsoon_relalg
+open Monsoon_stats
+open Monsoon_exec
+
+type config = {
+  prior : Prior.t;
+  prior_of : (int -> Prior.t) option;
+  known_distincts : (int * float) list;
+  mcts : Monsoon_mcts.Mcts.config;
+  budget : float;
+  max_steps : int;
+  verbose : bool;
+}
+
+let default_config ~rng =
+  { prior = Prior.spike_and_slab;
+    prior_of = None;
+    known_distincts = [];
+    mcts = Monsoon_mcts.Mcts.default_config ~rng;
+    budget = 5e7;
+    max_steps = 200;
+    verbose = false }
+
+type outcome = {
+  cost : float;
+  timed_out : bool;
+  wall : float;
+  mcts_time : float;
+  stats_cost : float;
+  exec_cost : float;
+  executes : int;
+  actions : string list;
+  result_card : float;
+}
+
+let src = Logs.Src.create "monsoon.driver" ~doc:"Monsoon optimizer driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Fold one EXECUTE step's observations into the real statistics set. *)
+let absorb_observations stats (obs : Executor.stat_obs) =
+  List.iter (fun (m, c) -> Stats_catalog.set_count stats m c)
+    obs.Executor.obs_counts;
+  List.iter
+    (fun (tm, d) ->
+      Stats_catalog.set_distinct stats ~term:tm ~scope:Stats_catalog.Wildcard d)
+    obs.Executor.obs_distincts
+
+let run config catalog query =
+  let t0 = Timer.now () in
+  let ctx = Mdp.make_ctx catalog query in
+  let exec = Executor.create catalog query (Executor.budget config.budget) in
+  let mcts_timer = Timer.accum () in
+  let total_cost = ref 0.0 in
+  let stats_cost = ref 0.0 in
+  let executes = ref 0 in
+  let trace = ref [] in
+  let finish ~timed_out state =
+    let result_card =
+      if timed_out then 0.0
+      else
+        match Executor.materialized exec (Query.all_mask query) with
+        | Some inter -> float_of_int (Intermediate.cardinality inter)
+        | None -> 0.0
+    in
+    ignore state;
+    { cost = !total_cost;
+      timed_out;
+      wall = Timer.now () -. t0;
+      mcts_time = Timer.total mcts_timer;
+      stats_cost = !stats_cost;
+      exec_cost = !total_cost -. !stats_cost;
+      executes = !executes;
+      actions = List.rev !trace;
+      result_card }
+  in
+  (* Degenerate single-instance queries have no join-order problem: just
+     run the filtered scan. *)
+  if Query.n_rels query <= 1 then begin
+    match Executor.execute exec (Expr.base 0) with
+    | exception Executor.Timeout -> finish ~timed_out:true (Mdp.init_state ctx)
+    | _c, _obs -> finish ~timed_out:false (Mdp.init_state ctx)
+  end
+  else begin
+    let sim =
+      match config.prior_of with
+      | Some prior_of ->
+        Simulator.create_with ctx ~prior_of config.mcts.Monsoon_mcts.Mcts.rng
+      | None -> Simulator.create ctx config.prior config.mcts.Monsoon_mcts.Mcts.rng
+    in
+    let problem = Simulator.problem sim in
+    let rec loop state steps =
+      if Mdp.is_terminal ctx state then finish ~timed_out:false state
+      else if steps >= config.max_steps then begin
+        Log.warn (fun m ->
+            m "query %s: step limit reached before completion" (Query.name query));
+        finish ~timed_out:true state
+      end
+      else begin
+        let planned =
+          Timer.add_to mcts_timer (fun () ->
+              Monsoon_mcts.Mcts.plan config.mcts problem state)
+        in
+        match planned with
+        | None -> finish ~timed_out:false state
+        | Some (action, _stats) ->
+          trace := Mdp.describe_action ctx action :: !trace;
+          if config.verbose then
+            Log.info (fun m ->
+                m "query %s: %s" (Query.name query) (Mdp.describe_action ctx action));
+          (match action with
+          | Mdp.Execute -> (
+            incr executes;
+            match
+              List.fold_left
+                (fun acc e ->
+                  let c, obs = Executor.execute exec e in
+                  absorb_observations state.Mdp.stats obs;
+                  stats_cost := !stats_cost +. obs.Executor.obs_stats_cost;
+                  acc +. c)
+                0.0 state.Mdp.r_p
+            with
+            | exception Executor.Timeout -> finish ~timed_out:true state
+            | c ->
+              total_cost := !total_cost +. c;
+              (* Only masks the executor actually materialized (and whose
+                 counts were therefore observed) become part of R_e: a plan
+                 overlapping an earlier one is served from the cache above
+                 its unexecuted inner nodes. *)
+              let new_masks =
+                List.concat_map Mdp.executed_masks state.Mdp.r_p
+                |> List.filter (fun m ->
+                       Relset.cardinal m = 1
+                       || Stats_catalog.count state.Mdp.stats m <> None)
+              in
+              let r_e =
+                List.sort_uniq compare (new_masks @ state.Mdp.r_e)
+              in
+              loop { state with Mdp.r_p = []; r_e } (steps + 1))
+          | Mdp.Add_stats_of_exec _ | Mdp.Wrap_stats _ | Mdp.Join_exec _
+          | Mdp.Join_planned _ | Mdp.Join_mixed _ ->
+            loop (Mdp.apply_plan_edit state action) (steps + 1))
+      end
+    in
+    let init = Mdp.init_state ctx in
+    List.iter
+      (fun (term, d) ->
+        Stats_catalog.set_distinct init.Mdp.stats ~term
+          ~scope:Stats_catalog.Wildcard d)
+      config.known_distincts;
+    loop init 0
+  end

@@ -1,0 +1,45 @@
+(** The Monsoon optimizer proper (paper Sec 5.3): interleaved MCTS planning
+    and real execution.
+
+    From the initial state, MCTS (over the {!Simulator} model seeded with
+    the current observed statistics) picks one action at a time. Plan edits
+    update the state directly; EXECUTE runs every planned expression on the
+    engine, feeds the measured result counts and Σ distinct counts back into
+    the statistics set, and planning resumes. The loop ends when the
+    complete query has been materialized or the budget is exhausted. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+
+type config = {
+  prior : Prior.t;
+  prior_of : (int -> Prior.t) option;
+      (** per-term (tailored) priors override [prior] when given; the paper
+          notes data-set-specific priors "would possibly outperform a
+          generic prior" *)
+  known_distincts : (int * float) list;
+      (** statistics available up front (term id → distinct count): the
+          paper initializes the problem with any known statistics *)
+  mcts : Monsoon_mcts.Mcts.config;
+  budget : float;  (** tuple budget standing in for the paper's 20-min timeout *)
+  max_steps : int;  (** safety valve on the number of MDP actions *)
+  verbose : bool;  (** log each chosen action via {!Logs} *)
+}
+
+val default_config : rng:Monsoon_util.Rng.t -> config
+(** Spike-and-slab prior, default MCTS, budget 5e7, 200 steps. *)
+
+type outcome = {
+  cost : float;  (** intermediate objects charged (the paper's cost) *)
+  timed_out : bool;
+  wall : float;  (** end-to-end seconds *)
+  mcts_time : float;  (** planning seconds (Table 8 "MCTS") *)
+  stats_cost : float;  (** Σ-pass objects (Table 8 "Σ") *)
+  exec_cost : float;  (** join objects (Table 8 "Execution") *)
+  executes : int;  (** number of EXECUTE transitions taken *)
+  actions : string list;  (** the action trace, for inspection *)
+  result_card : float;  (** cardinality of the final result; 0 on timeout *)
+}
+
+val run : config -> Catalog.t -> Query.t -> outcome

@@ -1,0 +1,62 @@
+(** The Monsoon MDP (paper Sec 4): states, actions, and the deterministic
+    part of the transition function.
+
+    A state is the triple (R_p, R_e, S): planned-but-unexecuted RA
+    expressions, executed/materialized expressions (represented by their
+    instance masks — see {!Monsoon_relalg.Expr} for why masks suffice), and
+    the set of observed statistics. Plan-editing actions are deterministic;
+    the stochastic EXECUTE transition lives in {!Simulator} (sampled model)
+    and {!Driver} (real world). *)
+
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+
+type state = {
+  r_p : Expr.t list;  (** sorted by canonical key; keys unique *)
+  r_e : Relset.t list;  (** sorted ascending *)
+  stats : Stats_catalog.t;
+}
+
+type action =
+  | Add_stats_of_exec of Relset.t
+      (** Σ over a materialized expression (action 1 of Sec 4.2). *)
+  | Wrap_stats of Expr.t
+      (** Replace r ∈ R_p with Σ(r) (action 2). *)
+  | Join_exec of Relset.t * Relset.t
+      (** Add a join of two materialized expressions to R_p (action 3). *)
+  | Join_planned of Expr.t * Expr.t
+      (** Join two planned expressions (action 4). *)
+  | Join_mixed of Relset.t * Expr.t
+      (** Join a materialized with a planned expression (action 5). *)
+  | Execute  (** Materialize everything in R_p. *)
+
+type ctx = { query : Query.t; raw_counts : float array }
+(** Per-query immutable context: the instance sizes are the only statistics
+    assumed known up front. *)
+
+val make_ctx : Catalog.t -> Query.t -> ctx
+val init_state : ctx -> state
+(** R_p empty, R_e the base instances, S empty. *)
+
+val is_terminal : ctx -> state -> bool
+(** The complete query has been materialized. *)
+
+val legal_actions : ctx -> state -> action list
+(** Follows Sec 4.2, with two standard prunings: a join candidate without a
+    connecting predicate is only offered when no connected candidate exists
+    anywhere (cross products only when necessary), and Σ is only offered
+    when it would measure at least one still-unknown statistic. Plans with a
+    mask already covered inside R_p are not duplicated. *)
+
+val apply_plan_edit : state -> action -> state
+(** The deterministic transitions; raises [Invalid_argument] on [Execute]. *)
+
+val executed_masks : Expr.t -> Relset.t list
+(** Masks that executing the expression adds to R_e: every join node plus
+    the (Σ-stripped) root. *)
+
+val state_key : state -> string
+(** Canonical fingerprint for MCTS chance-node sharing. *)
+
+val describe_action : ctx -> action -> string

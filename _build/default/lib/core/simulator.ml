@@ -1,0 +1,134 @@
+open Monsoon_util
+open Monsoon_relalg
+open Monsoon_stats
+
+type t = { ctx : Mdp.ctx; prior_of : int -> Prior.t; rng : Rng.t }
+
+let create_with ctx ~prior_of rng = { ctx; prior_of; rng }
+let create ctx prior rng = create_with ctx ~prior_of:(fun _ -> prior) rng
+
+(* Cost-model environment over a private statistics copy: lookups hit S
+   first; missing distinct counts are sampled from the prior and memoized
+   (scoped to their predicate) so one EXECUTE transition is internally
+   consistent. *)
+let env_over t stats =
+  let q = t.ctx.Mdp.query in
+  ignore q;
+  { Cost_model.count_of = (fun mask -> Stats_catalog.count stats mask);
+    raw_count = (fun i -> t.ctx.Mdp.raw_counts.(i));
+    distinct_of =
+      (fun ~term ~pred ~c_own ~c_partner ->
+        let tid = term.Term.id in
+        match Stats_catalog.distinct stats ~term:tid ~pred with
+        | Some d -> d
+        | None ->
+          let d = Prior.sample (t.prior_of tid) t.rng ~c_own ~c_partner in
+          let scope =
+            match pred with
+            | Some p -> Stats_catalog.For_pred p
+            | None -> Stats_catalog.For_select
+          in
+          Stats_catalog.set_distinct stats ~term:tid ~scope d;
+          d);
+    record_count = (fun mask c -> Stats_catalog.set_count stats mask c) }
+
+(* Cardinality of the natural join partner of a term, used to parameterize
+   the prior when a Σ pass hardens a wildcard measurement: the other side of
+   the first join predicate the term appears in, approximated by the product
+   of its base instances' (filtered) sizes. *)
+let partner_card t env stats tm =
+  let q = t.ctx.Mdp.query in
+  let partner_term =
+    List.find_map
+      (fun pid ->
+        match Query.pred q pid with
+        | Predicate.Join { left; right; _ } ->
+          if left.Term.id = tm.Term.id then Some right
+          else if right.Term.id = tm.Term.id then Some left
+          else None
+        | Predicate.Select _ -> None)
+      (Query.preds_of_term q tm.Term.id)
+  in
+  match partner_term with
+  | None -> None
+  | Some pt ->
+    ignore stats;
+    let c =
+      List.fold_left
+        (fun acc i ->
+          acc *. Cost_model.estimate q env (Expr.base i))
+        1.0
+        (Relset.to_list (Term.rels pt))
+    in
+    Some c
+
+let simulate_execute t (state : Mdp.state) =
+  let q = t.ctx.Mdp.query in
+  let stats = Stats_catalog.copy state.Mdp.stats in
+  let env = env_over t stats in
+  (* Phase 1: Σ-topped plans harden wildcard measurements, so that costing
+     in phase 2 (and all later planning) sees them. *)
+  List.iter
+    (fun e ->
+      if Expr.has_stats e then begin
+        let inner = Expr.strip_stats e in
+        let c = Cost_model.estimate q env inner in
+        List.iter
+          (fun tm ->
+            if not (Stats_catalog.has_measurement stats ~term:tm.Term.id) then begin
+              let c_partner = partner_card t env stats tm in
+              let d =
+                Cost_model.clamp_distinct ~c_own:c
+                  (Prior.sample (t.prior_of tm.Term.id) t.rng ~c_own:c ~c_partner)
+              in
+              Stats_catalog.set_distinct stats ~term:tm.Term.id
+                ~scope:Stats_catalog.Wildcard d
+            end)
+          (Query.interesting_terms q (Expr.mask inner))
+      end)
+    state.Mdp.r_p;
+  (* Phase 2: cost every planned expression; estimates are memoized into the
+     statistics copy, hardening result counts. *)
+  let total =
+    List.fold_left (fun acc e -> acc +. Cost_model.cost q env e) 0.0 state.Mdp.r_p
+  in
+  (* Only masks whose counts actually hardened become materialized: when two
+     plans overlap, nodes short-circuited by an already-known result count
+     (step 1) were never generated. *)
+  let new_masks =
+    List.concat_map Mdp.executed_masks state.Mdp.r_p
+    |> List.filter (fun m ->
+           Relset.cardinal m = 1 || Stats_catalog.count stats m <> None)
+  in
+  let r_e = List.sort_uniq compare (new_masks @ state.Mdp.r_e) in
+  ({ Mdp.r_p = []; r_e; stats }, -.total)
+
+let step t state action =
+  match action with
+  | Mdp.Execute -> simulate_execute t state
+  | Mdp.Add_stats_of_exec _ | Mdp.Wrap_stats _ | Mdp.Join_exec _
+  | Mdp.Join_planned _ | Mdp.Join_mixed _ ->
+    (Mdp.apply_plan_edit state action, 0.0)
+
+(* Rollout policy: when a plan is pending, execute it half the time instead
+   of wandering through more plan edits. This keeps simulations short and
+   makes the value of "EXECUTE now" sharply visible; below the bias,
+   actions stay uniformly random. *)
+let rollout_policy rng _state acts =
+  if List.mem Mdp.Execute acts && Rng.bool rng then Mdp.Execute
+  else List.nth acts (Rng.int rng (List.length acts))
+
+let problem t =
+  { Monsoon_mcts.Mcts.actions = (fun s -> Mdp.legal_actions t.ctx s);
+    step = (fun s a -> step t s a);
+    is_terminal = (fun s -> Mdp.is_terminal t.ctx s);
+    key = Mdp.state_key;
+    rollout_policy = Some rollout_policy }
+
+let expected_execute_cost t state ~n =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    let _, r = simulate_execute t state in
+    acc := !acc -. r
+  done;
+  !acc /. float_of_int n

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Catalog Expr Float Hashtbl Hyperloglog Intermediate List Monsoon_relalg Monsoon_sketch Monsoon_storage Predicate Query Relset Seq Table Term Value

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Catalog Expr Intermediate Monsoon_relalg Monsoon_storage Query Relset Table

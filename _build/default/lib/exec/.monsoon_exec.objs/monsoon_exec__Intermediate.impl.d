@@ -1,0 +1,1 @@
+lib/exec/intermediate.ml: Array Catalog Monsoon_relalg Monsoon_storage Printf Query Relset Schema Table

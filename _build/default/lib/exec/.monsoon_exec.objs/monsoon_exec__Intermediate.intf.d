@@ -1,0 +1,1 @@
+lib/exec/intermediate.mli: Catalog Monsoon_relalg Monsoon_storage Query Relset Table

@@ -1,0 +1,230 @@
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_sketch
+
+exception Timeout
+
+type budget = { mutable remaining : float }
+
+let budget r = { remaining = r }
+
+type t = {
+  catalog : Catalog.t;
+  query : Query.t;
+  mutable bud : budget;
+  store : (Relset.t, Intermediate.t) Hashtbl.t;
+  mutable produced : float;
+}
+
+let create catalog query bud =
+  { catalog; query; bud; store = Hashtbl.create 16; produced = 0.0 }
+
+let set_budget t bud = t.bud <- bud
+
+type stat_obs = {
+  obs_counts : (Relset.t * float) list;
+  obs_distincts : (int * float) list;
+  obs_stats_cost : float;
+}
+
+let materialized t mask = Hashtbl.find_opt t.store mask
+
+let total_produced t = t.produced
+
+let spend t n =
+  t.produced <- t.produced +. n;
+  t.bud.remaining <- t.bud.remaining -. n;
+  if t.bud.remaining < 0.0 then raise Timeout
+
+let compile_term t inter tm =
+  Term.compile tm
+    ~col_index:(fun ~rel ~col ->
+      Intermediate.col_index t.query t.catalog inter ~rel ~col)
+
+(* Predicate checkers over a single intermediate's rows. *)
+let compile_filter t inter pid =
+  match Query.pred t.query pid with
+  | Predicate.Select { term = tm; value; _ } ->
+    let ev = compile_term t inter tm in
+    fun row -> Value.equal (ev row) value
+  | Predicate.Join { left; right; _ } ->
+    let evl = compile_term t inter left and evr = compile_term t inter right in
+    fun row -> Value.equal (evl row) (evr row)
+
+let scan_base t rel =
+  let mask = Relset.singleton rel in
+  match Hashtbl.find_opt t.store mask with
+  | Some inter -> inter
+  | None ->
+    let table = Catalog.find t.catalog (Query.rel_by_id t.query rel).Query.table in
+    let raw = Table.rows table in
+    let inter0 = Intermediate.of_base t.query t.catalog ~rows:raw rel in
+    let filters =
+      List.map (compile_filter t inter0) (Query.select_preds_of_rel t.query rel)
+    in
+    let inter =
+      if filters = [] then inter0
+      else begin
+        let keep = List.fold_left (fun acc f row -> acc row && f row) (fun _ -> true) filters in
+        let rows =
+          Array.of_seq (Seq.filter keep (Array.to_seq raw))
+        in
+        spend t (float_of_int (Array.length rows));
+        Intermediate.of_base t.query t.catalog ~rows rel
+      end
+    in
+    Hashtbl.replace t.store mask inter;
+    inter
+
+(* Orientation of a connecting join predicate: which term keys which side. *)
+let orient_pred t lm pid =
+  match Query.pred t.query pid with
+  | Predicate.Join { left; right; _ } ->
+    if Relset.subset (Term.rels left) lm then (left, right) else (right, left)
+  | Predicate.Select _ -> assert false
+
+let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
+  let q = t.query in
+  let conn = Query.connecting q la.Intermediate.mask rb.Intermediate.mask in
+  let newly = Query.newly_evaluable q ~left:la.Intermediate.mask ~right:rb.Intermediate.mask in
+  let filter_pids = List.filter (fun p -> not (List.mem p conn)) newly in
+  let mask, offsets, width = Intermediate.combined_layout la rb in
+  let out = ref [] in
+  let n_out = ref 0 in
+  let emit lrow rrow =
+    let row = Array.make width Value.Null in
+    Array.blit lrow 0 row 0 la.Intermediate.width;
+    Array.blit rrow 0 row la.Intermediate.width rb.Intermediate.width;
+    row
+  in
+  (* Filters run on the combined layout; build a template intermediate to
+     compile them against. *)
+  let combined_proto =
+    { Intermediate.mask; offsets; width; rows = [||] }
+  in
+  let filters = List.map (compile_filter t combined_proto) filter_pids in
+  let accept row = List.for_all (fun f -> f row) filters in
+  if conn = [] then begin
+    (* Cross product (with any straddling filters). *)
+    Array.iter
+      (fun lrow ->
+        Array.iter
+          (fun rrow ->
+            let row = emit lrow rrow in
+            if accept row then begin
+              spend t 1.0;
+              incr n_out;
+              out := row :: !out
+            end)
+          rb.Intermediate.rows)
+      la.Intermediate.rows
+  end
+  else begin
+    (* Hash join on the composite key of all connecting predicates. Build on
+       the smaller input. *)
+    let build, probe, build_is_left =
+      if Intermediate.cardinality la <= Intermediate.cardinality rb then
+        (la, rb, true)
+      else (rb, la, false)
+    in
+    let build_mask = build.Intermediate.mask in
+    let keyers_build, keyers_probe =
+      List.split
+        (List.map
+           (fun pid ->
+             let bt, pt = orient_pred t build_mask pid in
+             (compile_term t build bt, compile_term t probe pt))
+           conn)
+    in
+    let key_of keyers row = List.map (fun k -> k row) keyers in
+    let table = Hashtbl.create (Intermediate.cardinality build * 2) in
+    Array.iter
+      (fun row -> Hashtbl.add table (key_of keyers_build row) row)
+      build.Intermediate.rows;
+    Array.iter
+      (fun prow ->
+        let k = key_of keyers_probe prow in
+        List.iter
+          (fun brow ->
+            let row =
+              if build_is_left then emit brow prow else emit prow brow
+            in
+            if accept row then begin
+              spend t 1.0;
+              incr n_out;
+              out := row :: !out
+            end)
+          (Hashtbl.find_all table k))
+      probe.Intermediate.rows
+  end;
+
+  let rows = Array.of_list (List.rev !out) in
+  { Intermediate.mask; offsets; width; rows }
+
+let stats_pass t (inter : Intermediate.t) =
+  (* One extra pass over the materialized input computes an HLL distinct
+     count for every predicate-relevant term it can evaluate. *)
+  spend t (float_of_int (Intermediate.cardinality inter));
+  let terms = Query.interesting_terms t.query inter.Intermediate.mask in
+  List.map
+    (fun tm ->
+      let ev = compile_term t inter tm in
+      let hll = Hyperloglog.create ~p:14 () in
+      Array.iter (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row))) inter.Intermediate.rows;
+      (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
+    terms
+
+let execute t expr =
+  let cost = ref 0.0 in
+  let stats_cost = ref 0.0 in
+  let obs_counts = ref [] in
+  let obs_distincts = ref [] in
+  let full = Query.all_mask t.query in
+  let record mask inter =
+    Hashtbl.replace t.store mask inter;
+    obs_counts := (mask, float_of_int (Intermediate.cardinality inter)) :: !obs_counts
+  in
+  let rec go ~is_root e : Intermediate.t =
+    match e with
+    | Expr.Stats inner ->
+      let inter = go ~is_root inner in
+      let ds = stats_pass t inter in
+      cost := !cost +. float_of_int (Intermediate.cardinality inter);
+      stats_cost := !stats_cost +. float_of_int (Intermediate.cardinality inter);
+      obs_distincts := ds @ !obs_distincts;
+      inter
+    | Expr.Leaf m -> (
+      match Hashtbl.find_opt t.store m with
+      | Some inter -> inter
+      | None -> (
+        match Relset.to_list m with
+        | [ i ] ->
+          let inter = scan_base t i in
+          obs_counts :=
+            (m, float_of_int (Intermediate.cardinality inter)) :: !obs_counts;
+          inter
+        | _ -> invalid_arg "Executor.execute: unmaterialized intermediate leaf"))
+    | Expr.Join (a, b) -> (
+      let m = Expr.mask e in
+      match Hashtbl.find_opt t.store m with
+      | Some inter -> inter
+      | None ->
+        let ia = go ~is_root:false a in
+        let ib = go ~is_root:false b in
+        let inter = hash_join t ia ib in
+        let c = float_of_int (Intermediate.cardinality inter) in
+        (* Final result of the complete query is not charged as cost. *)
+        if not (is_root && Relset.equal m full) then cost := !cost +. c;
+        record m inter;
+        inter)
+  in
+  let _ = go ~is_root:true expr in
+  ( !cost,
+    { obs_counts = !obs_counts;
+      obs_distincts = !obs_distincts;
+      obs_stats_cost = !stats_cost } )
+
+let result_rows t expr =
+  match materialized t (Expr.mask expr) with
+  | Some inter -> inter.Intermediate.rows
+  | None -> invalid_arg "Executor.result_rows: not materialized"

@@ -1,0 +1,54 @@
+(** Tuple-budgeted plan execution over real data.
+
+    Executes an RA expression bottom-up: filtered base scans, hash
+    equi-joins on computed UDF keys (with post-join filters for straddling
+    or multi-instance predicates), cross products when no predicate
+    connects the sides, and the Σ statistics-collection pass via
+    HyperLogLog.
+
+    Cost accounting matches {!Monsoon_relalg.Cost_model}: each join node is
+    charged its output cardinality, a Σ node an extra pass over its input,
+    base scans are free, and the complete query's final result is not
+    charged. The *budget* is stricter than the cost: every emitted tuple
+    (including final results and scan outputs) draws it down, so a runaway
+    plan raises {!Timeout} promptly. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+
+exception Timeout
+
+type budget = { mutable remaining : float }
+
+val budget : float -> budget
+
+type t
+(** Execution context: one query over one catalog, with a cache of
+    materialized intermediates keyed by instance mask. Persists across the
+    multiple EXECUTE steps of a Monsoon run. *)
+
+val create : Catalog.t -> Query.t -> budget -> t
+
+val set_budget : t -> budget -> unit
+
+type stat_obs = {
+  obs_counts : (Relset.t * float) list;
+      (** true cardinalities of every expression materialized by this call *)
+  obs_distincts : (int * float) list;
+      (** term id → HLL distinct estimate, for Σ-topped expressions *)
+  obs_stats_cost : float;
+      (** portion of the charged cost due to Σ passes (paper Table 8) *)
+}
+
+val execute : t -> Expr.t -> float * stat_obs
+(** Materializes the expression (caching every intermediate), returning the
+    charged cost and the statistics observed. Raises {!Timeout} when the
+    budget runs out; the cache keeps whatever was completed. *)
+
+val materialized : t -> Relset.t -> Intermediate.t option
+
+val result_rows : t -> Expr.t -> Table.row array
+(** Rows of a previously executed expression. *)
+
+val total_produced : t -> float
+(** Total tuples emitted by this context so far (diagnostics). *)

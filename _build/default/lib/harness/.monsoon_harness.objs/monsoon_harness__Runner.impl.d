@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Dist Float Hashtbl List Monsoon_baselines Monsoon_util Monsoon_workloads Rng Strategy Workload

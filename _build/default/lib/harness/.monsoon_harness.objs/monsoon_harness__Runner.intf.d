@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Monsoon_baselines Monsoon_workloads Strategy Workload

@@ -1,0 +1,59 @@
+(** The per-table / per-figure experiment registry (see DESIGN.md §4).
+
+    Every experiment returns a rendered report. [profile] controls data
+    scale, tuple budgets and MCTS effort so the whole evaluation can run as
+    a quick smoke test or as the full reproduction. *)
+
+type profile = {
+  label : string;
+  seed : int;
+  imdb_scale : float;
+  tpch_scale : float;
+  ott_scale : float;
+  udf_imdb_scale : float;
+  udf_tpch_scale : float;
+  imdb_budget : float;
+  tpch_budget : float;
+  ott_budget : float;
+  udf_budget : float;
+  monsoon_iterations : int;
+  tpch_queries : string list option;  (** Table 2 subset; [None] = all 12 *)
+  imdb_queries : string list option;  (** [None] = all 60 *)
+}
+
+val quick : profile
+val full : profile
+
+val table1 : unit -> string
+(** Sec 2.3 scenario enumeration — exact reproduction of the paper's
+    numbers. *)
+
+val figure1 : unit -> string
+(** The example MDP: expected costs of guessing vs collecting statistics
+    first, and the action MCTS actually picks. *)
+
+val figure2 : unit -> string
+(** The five continuous prior densities. *)
+
+val table2 : profile -> string
+(** Priors × TPC-H skew variants, average Monsoon cost. *)
+
+val tables3_4_5 : profile -> string * string * string
+(** One IMDB run shared by Table 3 (all queries), Table 4 (relative to
+    Postgres) and Table 5 (20 most expensive). *)
+
+val table6 : profile -> string
+val table7_figure3 : profile -> string * string
+val table8 : profile -> string
+
+val ablation_selection : profile -> string
+(** UCT vs ε-greedy (both Sec 5.1 strategies). *)
+
+val ablation_iterations : profile -> string
+(** MCTS iteration budget sweep. *)
+
+val ablation_prior_spikes : profile -> string
+(** Spike-and-slab with and without its foreign-key point masses. *)
+
+val all : (string * string * (profile -> string)) list
+(** (id, description, run) for every experiment, in paper order. *)

@@ -1,0 +1,66 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let n_cols = List.length header in
+  let widths =
+    List.init n_cols (fun i ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+  in
+  let render_row row = "  " ^ String.concat "  " (List.map2 pad widths row) in
+  let sep = "  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.contents buf
+
+let cost c =
+  if c >= 1e9 then Printf.sprintf "%.2fG" (c /. 1e9)
+  else if c >= 1e6 then Printf.sprintf "%.2fM" (c /. 1e6)
+  else if c >= 1e4 then Printf.sprintf "%.1fk" (c /. 1e3)
+  else Printf.sprintf "%.0f" c
+
+let opt_cost = function None -> "N/A" | Some c -> cost c
+
+let seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s else Printf.sprintf "%.0fms" (s *. 1000.0)
+
+let agg_table ~title ~budget aggs =
+  ignore budget;
+  let rows =
+    List.map
+      (fun (a : Runner.agg) ->
+        [ a.Runner.agg_name;
+          string_of_int a.Runner.timeouts;
+          opt_cost a.Runner.mean;
+          cost a.Runner.median;
+          (match a.Runner.max_ with None -> "TO" | Some m -> cost m) ])
+      aggs
+  in
+  table ~title ~header:[ "Implementation"; "TO"; "Mean"; "Median"; "Max" ] rows
+
+let series ~title ~x_label ~y_label points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s\n  (%s vs %s)\n" title x_label y_label);
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 points in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 points
+  in
+  List.iter
+    (fun (label, v) ->
+      let bar_len = int_of_float (40.0 *. v /. max_v) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %s %s\n" (pad label_w label)
+           (String.make (max 0 bar_len) '#')
+           (cost v)))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Plain-text rendering of the paper's tables and figures. *)
+
+val table : title:string -> header:string list -> string list list -> string
+(** Fixed-width ASCII table. *)
+
+val cost : float -> string
+(** Human-scaled object counts: ["1.20M"], ["34.5k"], ["812"]. *)
+
+val opt_cost : float option -> string
+(** ["N/A"] / ["TO"] fallbacks use {!cost} when present. *)
+
+val seconds : float -> string
+
+val agg_table : title:string -> budget:float -> Runner.agg list -> string
+(** The TO/Mean/Median/Max layout of Tables 3, 5, 6 and 7. *)
+
+val series :
+  title:string -> x_label:string -> y_label:string ->
+  (string * float) list -> string
+(** A labeled series plus an ASCII bar rendering — the stand-in for the
+    paper's figures. *)

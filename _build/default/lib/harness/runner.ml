@@ -1,0 +1,115 @@
+open Monsoon_util
+open Monsoon_baselines
+open Monsoon_workloads
+
+type config = { budget : float; seed : int; queries : string list option }
+
+type cell = { query : string; outcome : Strategy.outcome option }
+type row = { strategy : string; cells : cell list }
+
+let selected_queries config (w : Workload.t) =
+  match config.queries with
+  | None -> w.Workload.queries
+  | Some names ->
+    List.map (fun n -> (n, Workload.find_query w n)) names
+
+let run_suite config strategies (w : Workload.t) =
+  let queries = selected_queries config w in
+  List.map
+    (fun (s : Strategy.t) ->
+      let cells =
+        List.map
+          (fun (qname, q) ->
+            if not (s.Strategy.applicable q) then { query = qname; outcome = None }
+            else begin
+              (* A fresh deterministic stream per (strategy, query). *)
+              let rng =
+                Rng.create (Hashtbl.hash (config.seed, s.Strategy.name, qname))
+              in
+              let outcome =
+                s.Strategy.run ~rng ~budget:config.budget w.Workload.catalog q
+              in
+              { query = qname; outcome = Some outcome }
+            end)
+          queries
+      in
+      { strategy = s.Strategy.name; cells })
+    strategies
+
+type agg = {
+  agg_name : string;
+  timeouts : int;
+  mean : float option;
+  median : float;
+  max_ : float option;
+  n : int;
+}
+
+let aggregate ~budget row =
+  let outcomes = List.filter_map (fun c -> c.outcome) row.cells in
+  let n = List.length outcomes in
+  let timeouts = List.length (List.filter (fun o -> o.Strategy.timed_out) outcomes) in
+  let costs =
+    Array.of_list
+      (List.map
+         (fun o -> if o.Strategy.timed_out then budget else o.Strategy.cost)
+         outcomes)
+  in
+  let mean =
+    if timeouts > 0 || n = 0 then None else Some (Dist.mean costs)
+  in
+  let median = if n = 0 then 0.0 else Dist.median costs in
+  let max_ =
+    if timeouts > 0 then None
+    else if n = 0 then Some 0.0
+    else Some (Array.fold_left Float.max 0.0 costs)
+  in
+  { agg_name = row.strategy; timeouts; mean; median; max_; n }
+
+let cost_by_query row =
+  List.filter_map
+    (fun c ->
+      match c.outcome with
+      | Some o -> Some (c.query, o)
+      | None -> None)
+    row.cells
+
+let relative_buckets ~baseline row =
+  let base = cost_by_query baseline in
+  let low = ref 0 and mid = ref 0 and high = ref 0 in
+  let n = ref 0 in
+  List.iter
+    (fun c ->
+      match c.outcome with
+      | None -> ()
+      | Some o -> (
+        match List.assoc_opt c.query base with
+        | None -> ()
+        | Some b ->
+          incr n;
+          if o.Strategy.timed_out then incr high
+          else begin
+            let ratio = (o.Strategy.cost +. 1.0) /. (b.Strategy.cost +. 1.0) in
+            if ratio < 0.9 then incr low
+            else if ratio < 1.1 then incr mid
+            else incr high
+          end))
+    row.cells;
+  let f x = 100.0 *. float_of_int x /. float_of_int (max 1 !n) in
+  (f !low, f !mid, f !high)
+
+let top_k_by ~baseline ~k =
+  let costs =
+    List.filter_map
+      (fun c ->
+        match c.outcome with
+        | Some o -> Some (c.query, o.Strategy.cost)
+        | None -> None)
+      baseline.cells
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) costs
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map fst
+
+let filter_queries row names =
+  { row with cells = List.filter (fun c -> List.mem c.query names) row.cells }

@@ -1,0 +1,46 @@
+(** Runs strategies over a workload's query suite and aggregates results the
+    way the paper's tables do. *)
+
+open Monsoon_baselines
+open Monsoon_workloads
+
+type config = {
+  budget : float;
+      (** tuple budget per (strategy, query) — the timeout stand-in *)
+  seed : int;
+  queries : string list option;  (** restrict the suite; [None] = all *)
+}
+
+type cell = {
+  query : string;
+  outcome : Strategy.outcome option;  (** [None]: strategy not applicable *)
+}
+
+type row = { strategy : string; cells : cell list }
+
+val run_suite : config -> Strategy.t list -> Workload.t -> row list
+(** One row per strategy, one cell per query (in suite order). The
+    hand-written plans, when the workload has them, can be included by
+    adding a {!Strategy.fixed_plan} to the list. *)
+
+type agg = {
+  agg_name : string;
+  timeouts : int;
+  mean : float option;  (** [None] when any query timed out (paper: N/A) *)
+  median : float;  (** timeouts included at the budget value *)
+  max_ : float option;  (** [None] = "TO" *)
+  n : int;  (** applicable queries *)
+}
+
+val aggregate : budget:float -> row -> agg
+
+val relative_buckets : baseline:row -> row -> float * float * float
+(** Shares of queries with cost <0.9, within [0.9,1.1), and >1.1 of the
+    baseline's cost on the same query (paper Table 4). Timeouts land in the
+    last bucket. *)
+
+val top_k_by : baseline:row -> k:int -> string list
+(** Names of the [k] most expensive queries under the baseline row —
+    the paper's "20 most expensive IMDB queries" selector. *)
+
+val filter_queries : row -> string list -> row

@@ -1,0 +1,1 @@
+lib/mcts/mcts.ml: Float Hashtbl List Monsoon_util Option Rng

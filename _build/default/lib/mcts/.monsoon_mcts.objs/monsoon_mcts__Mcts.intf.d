@@ -1,0 +1,1 @@
+lib/mcts/mcts.mli: Monsoon_util

@@ -1,0 +1,174 @@
+open Monsoon_util
+
+type ('s, 'a) problem = {
+  actions : 's -> 'a list;
+  step : 's -> 'a -> 's * float;
+  is_terminal : 's -> bool;
+  key : 's -> string;
+  rollout_policy : (Rng.t -> 's -> 'a list -> 'a) option;
+}
+
+type selection = Uct of float | Epsilon_greedy
+
+type config = {
+  iterations : int;
+  selection : selection;
+  rng : Rng.t;
+  max_rollout_steps : int;
+}
+
+let default_config ~rng =
+  { iterations = 2000; selection = Uct (sqrt 2.0); rng; max_rollout_steps = 10_000 }
+
+type stats = { chosen_visits : int; chosen_mean : float; root_visits : int }
+
+type ('s, 'a) node = {
+  state : 's;
+  mutable untried : 'a list;
+  mutable edges : ('s, 'a) edge list;  (* in expansion order *)
+  mutable visits : int;
+}
+
+and ('s, 'a) edge = {
+  action : 'a;
+  mutable e_visits : int;
+  mutable e_total : float;  (* sum of raw returns through this edge *)
+  children : (string, ('s, 'a) node) Hashtbl.t;
+}
+
+let make_node p state = { state; untried = p.actions state; edges = []; visits = 0 }
+
+let edge_mean e = if e.e_visits = 0 then 0.0 else e.e_total /. float_of_int e.e_visits
+
+(* Rollout: uniformly random actions until a terminal state; the return is
+   the (undiscounted, γ = 1) sum of rewards. *)
+let rollout cfg p state =
+  let pick =
+    match p.rollout_policy with
+    | Some policy -> policy cfg.rng
+    | None ->
+      fun _state acts -> List.nth acts (Rng.int cfg.rng (List.length acts))
+  in
+  let rec go state steps acc =
+    if p.is_terminal state || steps >= cfg.max_rollout_steps then acc
+    else
+      match p.actions state with
+      | [] -> acc
+      | acts ->
+        let a = pick state acts in
+        let state', r = p.step state a in
+        go state' (steps + 1) (acc +. r)
+  in
+  go state 0 0.0
+
+let select_uct w ~norm node =
+  let log_vp = log (float_of_int (max 1 node.visits)) in
+  let score e =
+    if e.e_visits = 0 then infinity
+    else
+      norm (edge_mean e) +. (w *. sqrt (log_vp /. float_of_int e.e_visits))
+  in
+  List.fold_left
+    (fun best e -> match best with
+      | None -> Some e
+      | Some b -> if score e > score b then Some e else best)
+    None node.edges
+  |> Option.get
+
+let select_eps cfg ~progress node =
+  let eps = Float.max 0.1 (1.0 -. progress) in
+  if Rng.unit_float cfg.rng < eps then
+    List.nth node.edges (Rng.int cfg.rng (List.length node.edges))
+  else
+    List.fold_left
+      (fun best e -> match best with
+        | None -> Some e
+        | Some b -> if edge_mean e > edge_mean b then Some e else best)
+      None node.edges
+    |> Option.get
+
+let plan cfg p root_state =
+  if p.is_terminal root_state then None
+  else begin
+    let root = make_node p root_state in
+    (* Global return bounds for [0,1] normalization of the exploitation
+       term, as the paper prescribes. *)
+    let gmin = ref infinity and gmax = ref neg_infinity in
+    let observe g =
+      if g < !gmin then gmin := g;
+      if g > !gmax then gmax := g
+    in
+    let norm v =
+      if !gmax -. !gmin < 1e-12 then 0.5 else (v -. !gmin) /. (!gmax -. !gmin)
+    in
+    let child_of edge state' =
+      let k = p.key state' in
+      match Hashtbl.find_opt edge.children k with
+      | Some n -> n
+      | None ->
+        let n = make_node p state' in
+        Hashtbl.replace edge.children k n;
+        n
+    in
+    let backup node edge g =
+      node.visits <- node.visits + 1;
+      edge.e_visits <- edge.e_visits + 1;
+      edge.e_total <- edge.e_total +. g
+    in
+    let rec simulate ~progress node depth =
+      if p.is_terminal node.state || depth >= cfg.max_rollout_steps then 0.0
+      else
+        match node.untried with
+        | a :: rest ->
+          (* Expansion: try one unvisited action, then roll out. *)
+          node.untried <- rest;
+          let edge = { action = a; e_visits = 0; e_total = 0.0; children = Hashtbl.create 4 } in
+          node.edges <- node.edges @ [ edge ];
+          let state', r = p.step node.state a in
+          let child = child_of edge state' in
+          let g = r +. rollout cfg p state' in
+          ignore child;
+          backup node edge g;
+          g
+        | [] ->
+          if node.edges = [] then 0.0  (* dead end: no legal actions *)
+          else begin
+            let edge =
+              match cfg.selection with
+              | Uct w -> select_uct w ~norm node
+              | Epsilon_greedy -> select_eps cfg ~progress node
+            in
+            let state', r = p.step node.state edge.action in
+            let child = child_of edge state' in
+            let g = r +. simulate ~progress child (depth + 1) in
+            backup node edge g;
+            g
+          end
+    in
+    for i = 0 to cfg.iterations - 1 do
+      let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
+      let g = simulate ~progress root 0 in
+      observe g
+    done;
+    (* Final choice: best mean return; ties broken toward more visits. *)
+    let best =
+      List.fold_left
+        (fun best e ->
+          match best with
+          | None -> Some e
+          | Some b ->
+            let me = edge_mean e and mb = edge_mean b in
+            if me > mb || (Float.equal me mb && e.e_visits > b.e_visits) then
+              Some e
+            else best)
+        None root.edges
+    in
+    match best with
+    | None -> None
+    | Some e ->
+      Some
+        ( e.action,
+          { chosen_visits = e.e_visits;
+            chosen_mean = edge_mean e;
+            root_visits = root.visits } )
+  end

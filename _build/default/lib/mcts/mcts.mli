@@ -1,0 +1,52 @@
+(** Generic Monte-Carlo tree search over a sampled decision process
+    (paper Sec 5.1).
+
+    The planner is *online*: given a state, it runs a fixed number of
+    rollouts through a simulator of the process and returns the action whose
+    estimated long-term reward is best. Both selection strategies evaluated
+    in the paper are provided: UCT (Kocsis–Szepesvári) with the paper's
+    weight w = √2, and adaptive ε-greedy with a 0.1 floor. Rewards are
+    min–max-normalized across the rollouts of one planning call, as the
+    paper prescribes for UCT. *)
+
+type ('s, 'a) problem = {
+  actions : 's -> 'a list;
+      (** Legal actions; must be non-empty for non-terminal states. *)
+  step : 's -> 'a -> 's * float;
+      (** Samples one transition from the process model; returns the next
+          state and the immediate reward (negated cost). Must not mutate the
+          input state. *)
+  is_terminal : 's -> bool;
+  key : 's -> string;
+      (** Canonical state fingerprint: identical keys mean identical states
+          (used to share chance-node children). *)
+  rollout_policy : (Monsoon_util.Rng.t -> 's -> 'a list -> 'a) option;
+      (** The "predefined policy" driving simulations below the tree
+          (Sec 5.1). [None] picks uniformly at random. *)
+}
+
+type selection =
+  | Uct of float  (** exploration weight; the paper uses [sqrt 2.] *)
+  | Epsilon_greedy  (** ε from 1.0 down to the 0.1 floor *)
+
+type config = {
+  iterations : int;
+  selection : selection;
+  rng : Monsoon_util.Rng.t;
+  max_rollout_steps : int;
+      (** safety cap on rollout length; generous values never bind for the
+          Monsoon MDP, whose episodes are structurally finite *)
+}
+
+val default_config : rng:Monsoon_util.Rng.t -> config
+(** 2000 iterations, UCT(√2), rollout cap 10_000. *)
+
+type stats = {
+  chosen_visits : int;
+  chosen_mean : float;  (** mean raw (unnormalized) return of the choice *)
+  root_visits : int;
+}
+
+val plan : config -> ('s, 'a) problem -> 's -> ('a * stats) option
+(** [plan cfg p s] returns the preferred action from [s], or [None] when
+    [s] is terminal. *)

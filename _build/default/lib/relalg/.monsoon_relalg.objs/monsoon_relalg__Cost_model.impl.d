@@ -1,0 +1,1 @@
+lib/relalg/cost_model.ml: Expr Float List Predicate Query Relset Term

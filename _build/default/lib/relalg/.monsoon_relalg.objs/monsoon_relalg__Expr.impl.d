@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: List Printf Query Relset String

@@ -1,0 +1,1 @@
+lib/relalg/predicate.ml: Monsoon_storage Printf Relset Term Value

@@ -1,0 +1,1 @@
+lib/relalg/predicate.mli: Monsoon_storage Relset Term Value

@@ -1,0 +1,1 @@
+lib/relalg/query.ml: Array List Predicate Relset Term

@@ -1,0 +1,1 @@
+lib/relalg/query.mli: Monsoon_storage Predicate Relset Term Udf

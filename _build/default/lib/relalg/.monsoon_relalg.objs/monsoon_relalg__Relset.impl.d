@@ -1,0 +1,1 @@
+lib/relalg/relset.ml: Format Int List String

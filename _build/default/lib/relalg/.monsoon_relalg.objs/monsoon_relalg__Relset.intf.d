@@ -1,0 +1,1 @@
+lib/relalg/relset.mli: Format

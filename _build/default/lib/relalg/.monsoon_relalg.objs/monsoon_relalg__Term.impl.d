@@ -1,0 +1,1 @@
+lib/relalg/term.ml: Array List Monsoon_storage Printf Relset String Udf Value

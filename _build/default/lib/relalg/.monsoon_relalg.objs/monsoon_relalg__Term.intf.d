@@ -1,0 +1,1 @@
+lib/relalg/term.mli: Monsoon_storage Relset Udf Value

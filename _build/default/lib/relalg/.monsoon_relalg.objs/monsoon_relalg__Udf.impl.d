@@ -1,0 +1,1 @@
+lib/relalg/udf.ml: Array Monsoon_storage Printf Value

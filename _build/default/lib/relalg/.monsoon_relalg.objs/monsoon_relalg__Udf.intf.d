@@ -1,0 +1,1 @@
+lib/relalg/udf.mli: Monsoon_storage Value

@@ -1,0 +1,52 @@
+(** The paper's statistical model (Sec 4.3) and cost function (Sec 4.4).
+
+    Join size follows the classical formula (Eq. 2)
+    [c(r1 ⨝ r2) = c(r1)·c(r2) / max(d1, d2)] with one factor per applicable
+    equi-join predicate, and equality selections contribute [1/d]. The cost
+    of executing a plan is the number of intermediate objects it
+    materializes: each join node contributes its output count, a Σ node an
+    extra pass over its input, already-materialized leaves contribute
+    nothing, and — matching the paper's worked example — the final result of
+    the complete query is not charged.
+
+    The estimator is parameterized over an environment so the same code
+    serves the MDP simulator (sampling, memoizing), the real driver
+    (measured statistics), and the classical baselines (default or estimated
+    statistics). *)
+
+type env = {
+  count_of : Relset.t -> float option;
+      (** Known result counts ("step 1" of the paper's recursive generation:
+          a count already in S short-circuits estimation). Must answer every
+          materialized mask, including filtered base instances once
+          executed. *)
+  raw_count : int -> float;
+      (** Unfiltered base-table cardinality of a relation instance; always
+          known (the paper assumes all input set sizes available). *)
+  distinct_of : term:Term.t -> pred:int option -> c_own:float -> c_partner:float option -> float;
+      (** Distinct-value count of a term in the context of a predicate
+          ([pred = None] for selections). [c_own] is the cardinality of the
+          expression the term is evaluated over, [c_partner] of the other
+          join side. Implementations may look up measured values, use
+          defaults, or sample a prior — but must always answer. The result
+          is clamped to [1, c_own] by the caller. *)
+  record_count : Relset.t -> float -> unit;
+      (** Called once for every newly computed mask count, bottom-up
+          ("step 5": add c(r) to S). Pass [ignore] when memoization into a
+          statistics set is not wanted. *)
+}
+
+val join_selectivity : d1:float -> d2:float -> float
+(** [1 / max(d1, d2)], the per-predicate factor of Eq. 2. *)
+
+val estimate : Query.t -> env -> Expr.t -> float
+(** Estimated result cardinality of the expression (Σ is transparent).
+    Always >= 0; never raises on well-formed inputs. *)
+
+val cost : Query.t -> env -> Expr.t -> float
+(** Estimated execution cost (intermediate objects) of materializing the
+    expression, assuming every leaf is already materialized. The complete
+    query's final materialization is excluded. *)
+
+val clamp_distinct : c_own:float -> float -> float
+(** Clamp a distinct count into [1, max(1, c_own)]. *)

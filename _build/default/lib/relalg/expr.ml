@@ -1,0 +1,69 @@
+type t =
+  | Leaf of Relset.t
+  | Join of t * t
+  | Stats of t
+
+let rec mask = function
+  | Leaf m -> m
+  | Join (a, b) -> Relset.union (mask a) (mask b)
+  | Stats e -> mask e
+
+let leaf m =
+  if m = Relset.empty then invalid_arg "Expr.leaf: empty mask";
+  Leaf m
+
+let base i = leaf (Relset.singleton i)
+
+let has_stats = function Stats _ -> true | Leaf _ | Join _ -> false
+
+let join a b =
+  if not (Relset.disjoint (mask a) (mask b)) then
+    invalid_arg "Expr.join: overlapping sides";
+  if has_stats a || has_stats b then
+    invalid_arg "Expr.join: cannot join a Σ-topped expression";
+  (* Canonical child order keeps logically identical plans structurally
+     identical. *)
+  if mask a <= mask b then Join (a, b) else Join (b, a)
+
+let stats e =
+  if has_stats e then invalid_arg "Expr.stats: already has Σ";
+  Stats e
+
+let strip_stats = function Stats e -> e | (Leaf _ | Join _) as e -> e
+
+let rec key = function
+  | Leaf m -> string_of_int m
+  | Join (a, b) -> Printf.sprintf "(%s*%s)" (key a) (key b)
+  | Stats e -> Printf.sprintf "S%s" (key e)
+
+let compare a b = String.compare (key a) (key b)
+let equal a b = compare a b = 0
+
+let join_nodes e =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Join (a, b) -> ((mask a, mask b) :: go (go acc a) b)
+    | Stats e -> go acc e
+  in
+  List.rev (go [] e)
+
+let rec leaves = function
+  | Leaf m -> [ m ]
+  | Join (a, b) -> leaves a @ leaves b
+  | Stats e -> leaves e
+
+let describe q e =
+  let mask_name m =
+    match Relset.to_list m with
+    | [ i ] -> (Query.rel_by_id q i).Query.alias
+    | ids ->
+      Printf.sprintf "[%s]"
+        (String.concat ","
+           (List.map (fun i -> (Query.rel_by_id q i).Query.alias) ids))
+  in
+  let rec go = function
+    | Leaf m -> mask_name m
+    | Join (a, b) -> Printf.sprintf "(%s ⨝ %s)" (go a) (go b)
+    | Stats e -> Printf.sprintf "Σ(%s)" (go e)
+  in
+  go e

@@ -1,0 +1,44 @@
+type t = int
+
+let empty = 0
+let singleton i = 1 lsl i
+let add i s = s lor (1 lsl i)
+let mem i s = s land (1 lsl i) <> 0
+let union = ( lor )
+let inter = ( land )
+let subset a b = a land b = a
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let to_list s =
+  let rec go i s acc =
+    if s = 0 then List.rev acc
+    else if s land 1 <> 0 then go (i + 1) (s lsr 1) (i :: acc)
+    else go (i + 1) (s lsr 1) acc
+  in
+  go 0 s []
+
+let of_list = List.fold_left (fun acc i -> add i acc) empty
+
+let full n = (1 lsl n) - 1
+
+let equal = Int.equal
+
+let min_elt s =
+  if s = 0 then invalid_arg "Relset.min_elt: empty";
+  let rec go i s = if s land 1 <> 0 then i else go (i + 1) (s lsr 1) in
+  go 0 s
+
+let subsets_nonempty s =
+  (* Standard subset-enumeration trick: iterate sub = (sub - 1) land s. *)
+  let rec go sub acc =
+    if sub = 0 then acc else go ((sub - 1) land s) (sub :: acc)
+  in
+  if s = 0 then [] else go s []
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))

@@ -1,0 +1,35 @@
+(** Sets of relation instances within one query, as int bitmasks.
+
+    A query names at most 62 relation instances, each identified by a small
+    integer id; a [Relset.t] is the bitmask of a subset of them. Join
+    enumeration, predicate applicability, and the statistics catalog all key
+    on these masks. *)
+
+type t = int
+
+val empty : t
+val singleton : int -> t
+val add : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] is a subset of [b]. *)
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val to_list : t -> int list
+(** Ascending ids. *)
+
+val of_list : int list -> t
+val full : int -> t
+(** [full n] is the set of ids 0..n-1. *)
+
+val equal : t -> t -> bool
+val min_elt : t -> int
+(** Raises [Invalid_argument] on the empty set. *)
+
+val subsets_nonempty : t -> t list
+(** All non-empty subsets (for DP enumeration). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+open Monsoon_storage
+
+type t = { id : int; udf : Udf.t; args : (int * string) list }
+
+let make ~id udf args =
+  assert (args <> []);
+  { id; udf; args }
+
+let rels t =
+  List.fold_left (fun acc (rel, _) -> Relset.add rel acc) Relset.empty t.args
+
+let is_single_rel t = Relset.cardinal (rels t) = 1
+
+let evaluable t mask = Relset.subset (rels t) mask
+
+let describe t =
+  Printf.sprintf "%s[%s]" (Udf.name t.udf)
+    (String.concat ";"
+       (List.map (fun (r, c) -> Printf.sprintf "r%d.%s" r c) t.args))
+
+type compiled = Value.t array -> Value.t
+
+let compile t ~col_index =
+  let slots =
+    Array.of_list
+      (List.map (fun (rel, col) -> col_index ~rel ~col) t.args)
+  in
+  let n = Array.length slots in
+  let buf = Array.make n Value.Null in
+  fun row ->
+    for i = 0 to n - 1 do
+      buf.(i) <- row.(slots.(i))
+    done;
+    Udf.apply t.udf buf

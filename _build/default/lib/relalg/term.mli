@@ -1,0 +1,36 @@
+(** A term is a UDF applied to attributes of specific relation instances:
+    the unit whose distinct-value count the whole paper is about.
+
+    [F1(o1.items, o2.items)] is a term spanning two relation instances; it
+    can only be evaluated on tuples of an expression that covers both. *)
+
+open Monsoon_storage
+
+type t = {
+  id : int;  (** unique within a query; keys the statistics catalog *)
+  udf : Udf.t;
+  args : (int * string) list;  (** (relation-instance id, column name) *)
+}
+
+val make : id:int -> Udf.t -> (int * string) list -> t
+
+val rels : t -> Relset.t
+(** Relation instances the term reads from. *)
+
+val is_single_rel : t -> bool
+
+val evaluable : t -> Relset.t -> bool
+(** Can the term be computed on tuples covering the given instances? *)
+
+val describe : t -> string
+
+type compiled = Value.t array -> Value.t
+(** Evaluator specialized to a tuple layout. *)
+
+val compile :
+  t ->
+  col_index:(rel:int -> col:string -> int) ->
+  compiled
+(** [compile t ~col_index] resolves each argument to a slot of the runtime
+    tuple via [col_index] and returns a fast evaluator. The argument array
+    passed to the UDF is reused across calls; UDFs must not retain it. *)

@@ -1,0 +1,18 @@
+open Monsoon_storage
+
+type t = { name : string; fn : Value.t array -> Value.t }
+
+let make name fn = { name; fn }
+
+let identity hint =
+  { name = Printf.sprintf "id(%s)" hint;
+    fn =
+      (function
+      | [| v |] -> v
+      | args ->
+        invalid_arg
+          (Printf.sprintf "identity UDF applied to %d args" (Array.length args)));
+  }
+
+let apply t args = t.fn args
+let name t = t.name

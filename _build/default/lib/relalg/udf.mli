@@ -1,0 +1,21 @@
+(** Opaque user-defined functions.
+
+    A UDF is a named black-box closure over runtime values. The optimizer
+    never inspects [fn]; all it may learn about a UDF's output distribution
+    is what a statistics-collection pass reveals. A registry of reusable
+    UDFs (identity projections, string extractors, the multi-table
+    combiners used by the UDF benchmark) lives in {!Udf_library}. *)
+
+open Monsoon_storage
+
+type t = { name : string; fn : Value.t array -> Value.t }
+
+val make : string -> (Value.t array -> Value.t) -> t
+
+val identity : string -> t
+(** [identity col_hint] passes its single argument through — how plain
+    column references are represented so that the optimizer genuinely cannot
+    distinguish "just an attribute" from opaque code. *)
+
+val apply : t -> Value.t array -> Value.t
+val name : t -> string

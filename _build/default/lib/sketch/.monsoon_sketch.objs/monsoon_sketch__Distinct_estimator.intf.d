@@ -1,0 +1,1 @@
+lib/sketch/distinct_estimator.mli:

@@ -1,0 +1,1 @@
+lib/sketch/hyperloglog.ml: Bytes Char Hashing Int64 Monsoon_util

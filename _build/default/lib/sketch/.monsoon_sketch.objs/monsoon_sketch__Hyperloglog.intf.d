@@ -1,0 +1,1 @@
+lib/sketch/hyperloglog.mli:

@@ -1,0 +1,1 @@
+lib/sketch/reservoir.ml: Array Monsoon_util Rng

@@ -1,0 +1,1 @@
+lib/sketch/reservoir.mli: Monsoon_util

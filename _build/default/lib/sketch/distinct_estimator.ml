@@ -1,0 +1,27 @@
+let frequency_table sample =
+  let counts = Hashtbl.create (Array.length sample) in
+  Array.iter
+    (fun v ->
+      let c = try Hashtbl.find counts v with Not_found -> 0 in
+      Hashtbl.replace counts v (c + 1))
+    sample;
+  counts
+
+let gee ~population sample =
+  let r = Array.length sample in
+  if r = 0 then 0.0
+  else begin
+    let counts = frequency_table sample in
+    let f1 = ref 0 and rest = ref 0 in
+    Hashtbl.iter (fun _ c -> if c = 1 then incr f1 else incr rest) counts;
+    let est =
+      (sqrt (float_of_int population /. float_of_int r) *. float_of_int !f1)
+      +. float_of_int !rest
+    in
+    let seen = float_of_int (Hashtbl.length counts) in
+    Float.min (float_of_int population) (Float.max seen est)
+  end
+
+let exact sample =
+  let counts = frequency_table sample in
+  Hashtbl.length counts

@@ -1,0 +1,16 @@
+(** Distinct-count estimation from a uniform sample, after Charikar et al.,
+    "Towards Estimation Error Guarantees for Distinct Values" (PODS 2000).
+
+    Given a sample of [r] items from a population of [n], the GEE estimator is
+    [sqrt(n/r) * f1 + sum_{i>=2} f_i], where [f_i] is the number of values
+    occurring exactly [i] times in the sample. This is what the paper's
+    "Sampling" baseline uses to turn 2 % block samples into distinct counts. *)
+
+val gee : population:int -> string array -> float
+(** [gee ~population sample] estimates the number of distinct values in the
+    population from the sample of string-rendered values. Returns at least the
+    number of distincts seen in the sample and at most [population]. *)
+
+val exact : string array -> int
+(** Exact distinct count of an array (used as the measurement oracle in
+    tests). *)

@@ -1,0 +1,65 @@
+open Monsoon_util
+
+type t = { p : int; regs : Bytes.t }
+
+let create ?(p = 12) () =
+  assert (p >= 4 && p <= 18);
+  { p; regs = Bytes.make (1 lsl p) '\000' }
+
+let clear t = Bytes.fill t.regs 0 (Bytes.length t.regs) '\000'
+
+let add_hash t h =
+  let m = 1 lsl t.p in
+  let idx = Int64.to_int (Int64.logand h (Int64.of_int (m - 1))) in
+  let rest = Int64.shift_right_logical h t.p in
+  (* Position of the leftmost 1-bit in the remaining (64 - p) bits,
+     counting from 1; all-zero remainder scores 64 - p + 1. *)
+  let rank =
+    if Int64.equal rest 0L then 64 - t.p + 1
+    else begin
+      let r = ref 1 in
+      let v = ref rest in
+      while Int64.logand !v 1L = 0L do
+        incr r;
+        v := Int64.shift_right_logical !v 1
+      done;
+      !r
+    end
+  in
+  let cur = Char.code (Bytes.get t.regs idx) in
+  if rank > cur then Bytes.set t.regs idx (Char.chr rank)
+
+let add_string t s = add_hash t (Hashing.string s)
+let add_int t i = add_hash t (Hashing.int i)
+
+let alpha m =
+  match m with
+  | 16 -> 0.673
+  | 32 -> 0.697
+  | 64 -> 0.709
+  | _ -> 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let count t =
+  let m = 1 lsl t.p in
+  let sum = ref 0.0 in
+  let zeros = ref 0 in
+  for i = 0 to m - 1 do
+    let r = Char.code (Bytes.get t.regs i) in
+    if r = 0 then incr zeros;
+    sum := !sum +. (1.0 /. float_of_int (1 lsl r))
+  done;
+  let mf = float_of_int m in
+  let raw = alpha m *. mf *. mf /. !sum in
+  if raw <= 2.5 *. mf && !zeros > 0 then
+    (* Linear counting for the small range. *)
+    mf *. log (mf /. float_of_int !zeros)
+  else raw
+
+let merge a b =
+  assert (a.p = b.p);
+  let t = create ~p:a.p () in
+  for i = 0 to Bytes.length a.regs - 1 do
+    let m = max (Char.code (Bytes.get a.regs i)) (Char.code (Bytes.get b.regs i)) in
+    Bytes.set t.regs i (Char.chr m)
+  done;
+  t

@@ -1,0 +1,28 @@
+(** HyperLogLog distinct-value sketch (Flajolet et al., with the HLL++-style
+    small-range correction of Heule et al.).
+
+    This is the statistic collector the paper's "On Demand" and "Monsoon"
+    options use: one pass over a (possibly UDF-transformed) column produces an
+    estimate of the number of distinct values with ~1.04/sqrt(2^p) relative
+    standard error. *)
+
+type t
+
+val create : ?p:int -> unit -> t
+(** [create ~p ()] uses [2^p] registers; [p] defaults to 12 (4096 registers,
+    ~1.6 % standard error). Requires [4 <= p <= 18]. *)
+
+val add_hash : t -> int64 -> unit
+(** Feed a pre-hashed item. The hash must be (close to) uniform on 64 bits;
+    use {!Monsoon_util.Hashing}. *)
+
+val add_string : t -> string -> unit
+val add_int : t -> int -> unit
+
+val count : t -> float
+(** Current cardinality estimate. *)
+
+val merge : t -> t -> t
+(** Union of the underlying multisets. Both sketches must share [p]. *)
+
+val clear : t -> unit

@@ -1,0 +1,32 @@
+type t = {
+  k : int;
+  counters : (string, int) Hashtbl.t;
+  mutable processed : int;
+}
+
+let create ~k =
+  assert (k >= 1);
+  { k; counters = Hashtbl.create (k * 2); processed = 0 }
+
+let add t v =
+  t.processed <- t.processed + 1;
+  match Hashtbl.find_opt t.counters v with
+  | Some c -> Hashtbl.replace t.counters v (c + 1)
+  | None ->
+    if Hashtbl.length t.counters < t.k then Hashtbl.replace t.counters v 1
+    else begin
+      (* Decrement every counter; drop those reaching zero. *)
+      let dead = ref [] in
+      Hashtbl.iter
+        (fun key c ->
+          if c = 1 then dead := key :: !dead
+          else Hashtbl.replace t.counters key (c - 1))
+        t.counters;
+      List.iter (Hashtbl.remove t.counters) !dead
+    end
+
+let heavy_hitters t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counters []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let processed t = t.processed

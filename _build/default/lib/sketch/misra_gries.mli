@@ -1,0 +1,20 @@
+(** Misra–Gries heavy-hitter summary.
+
+    The paper notes that a statistics pass can also compute "heavy hitters
+    (most common values with their frequencies)"; this summary provides them
+    in one pass with bounded memory. [k] counters guarantee that every value
+    with frequency > n/k is reported, with count undercounted by at most
+    n/k. *)
+
+type t
+
+val create : k:int -> t
+(** Requires [k >= 1]. *)
+
+val add : t -> string -> unit
+
+val heavy_hitters : t -> (string * int) list
+(** Candidate heavy hitters with their (under-)estimated counts, most
+    frequent first. *)
+
+val processed : t -> int

@@ -1,0 +1,24 @@
+open Monsoon_util
+
+type 'a t = {
+  rng : Rng.t;
+  capacity : int;
+  mutable seen : int;
+  mutable items : 'a array; (* length = min capacity seen *)
+}
+
+let create rng ~capacity =
+  assert (capacity > 0);
+  { rng; capacity; seen = 0; items = [||] }
+
+let add t x =
+  t.seen <- t.seen + 1;
+  let n = Array.length t.items in
+  if n < t.capacity then t.items <- Array.append t.items [| x |]
+  else begin
+    let j = Rng.int t.rng t.seen in
+    if j < t.capacity then t.items.(j) <- x
+  end
+
+let seen t = t.seen
+let sample t = Array.copy t.items

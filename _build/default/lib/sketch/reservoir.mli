@@ -1,0 +1,14 @@
+(** Reservoir sampling (Vitter's algorithm R).
+
+    Used by the "Sampling" baseline to draw uniform samples from tables and
+    intermediate results in a single pass. *)
+
+type 'a t
+
+val create : Monsoon_util.Rng.t -> capacity:int -> 'a t
+val add : 'a t -> 'a -> unit
+val seen : 'a t -> int
+(** Number of items offered so far. *)
+
+val sample : 'a t -> 'a array
+(** A copy of the current reservoir (size [min capacity seen]). *)

@@ -1,0 +1,1 @@
+lib/stats/prior.ml: Dist Float List Monsoon_util Rng String

@@ -1,0 +1,1 @@
+lib/stats/prior.mli: Monsoon_util

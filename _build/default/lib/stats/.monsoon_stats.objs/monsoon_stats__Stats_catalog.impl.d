@@ -1,0 +1,1 @@
+lib/stats/stats_catalog.ml: Hashtbl Monsoon_relalg Relset

@@ -1,0 +1,1 @@
+lib/stats/stats_catalog.mli: Monsoon_relalg Relset

@@ -1,0 +1,65 @@
+open Monsoon_util
+
+type t = {
+  name : string;
+  sample : Rng.t -> c_own:float -> c_partner:float option -> float;
+  density : x:float -> float;
+}
+
+let name t = t.name
+
+let clamp ~c_own d = Float.max 1.0 (Float.min d (Float.max 1.0 c_own))
+
+let sample t rng ~c_own ~c_partner =
+  clamp ~c_own (t.sample rng ~c_own ~c_partner)
+
+let density t ~x = t.density ~x
+
+let scaled_beta ~alpha ~beta name =
+  { name;
+    sample =
+      (fun rng ~c_own ~c_partner:_ ->
+        Float.of_int
+          (int_of_float (ceil (Dist.beta rng ~alpha ~beta *. c_own))));
+    density = (fun ~x -> Dist.beta_pdf ~alpha ~beta x) }
+
+let uniform =
+  { name = "Uniform";
+    sample = (fun rng ~c_own ~c_partner:_ -> 1.0 +. Rng.float rng (Float.max 0.0 (c_own -. 1.0)));
+    density = (fun ~x -> if x > 0.0 && x < 1.0 then 1.0 else 0.0) }
+
+let increasing = scaled_beta ~alpha:3.0 ~beta:1.0 "Increasing"
+let decreasing = scaled_beta ~alpha:1.0 ~beta:3.0 "Decreasing"
+let u_shaped = scaled_beta ~alpha:0.5 ~beta:0.5 "U-Shaped"
+let low_biased = scaled_beta ~alpha:2.0 ~beta:10.0 "Low Biased"
+
+let spike_and_slab =
+  { name = "Spike and Slab";
+    sample =
+      (fun rng ~c_own ~c_partner ->
+        match c_partner with
+        | Some c_s ->
+          let u = Rng.unit_float rng in
+          if u < 0.8 then 1.0 +. Rng.float rng (Float.max 0.0 (c_own -. 1.0))
+          else if u < 0.9 then c_own          (* FK from s into r: d = c(r) *)
+          else Float.min c_s c_own            (* FK from r into s: d = c(s) *)
+        | None ->
+          (* Selection context: no partner spike; keep the 8:1 ratio of slab
+             to key-spike. *)
+          let u = Rng.unit_float rng in
+          if u < 8.0 /. 9.0 then 1.0 +. Rng.float rng (Float.max 0.0 (c_own -. 1.0))
+          else c_own);
+    density = (fun ~x -> if x > 0.0 && x < 1.0 then 0.8 else 0.0) }
+
+let discrete =
+  { name = "Discrete";
+    sample = (fun _rng ~c_own ~c_partner:_ -> 0.1 *. c_own);
+    density = (fun ~x:_ -> 0.0) }
+
+let custom ~name ~sample ?(density = fun ~x:_ -> 0.0) () = { name; sample; density }
+
+let all =
+  [ uniform; increasing; decreasing; u_shaped; low_biased; spike_and_slab; discrete ]
+
+let by_name n =
+  List.find_opt (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii n) all

@@ -1,0 +1,57 @@
+(** The prior distributions over distinct-value counts (paper Sec 5.2).
+
+    A prior is a family [f(d(F, r|s) | c(r), c(s))]: given the cardinality of
+    the expression the term ranges over ([c_own]) and, for join predicates,
+    of the join partner ([c_partner]), it yields a distribution over the
+    number of distinct values in [1, c_own]. The seven general-purpose
+    "magic distributions" evaluated in the paper are provided. *)
+
+type t
+
+val name : t -> string
+
+val sample :
+  t -> Monsoon_util.Rng.t -> c_own:float -> c_partner:float option -> float
+(** A draw of [d], guaranteed inside [1, max 1 c_own]. [c_partner] is [None]
+    in selection contexts; priors that reference [c(s)] (spike-and-slab)
+    renormalize without that component. *)
+
+val density : t -> x:float -> float
+(** Density of the scale-free part at [x ∈ (0,1)] (the fraction
+    [d / c(r)]), used to render the paper's Figure 2. Point masses are not
+    included; the Discrete prior reports a zero density. *)
+
+val uniform : t
+
+(** [increasing] is Beta(3,1)·c(r): optimistic, many distincts. *)
+val increasing : t
+
+(** [decreasing] is Beta(1,3)·c(r): pessimistic. *)
+val decreasing : t
+
+(** [u_shaped] is Beta(0.5,0.5)·c(r). *)
+val u_shaped : t
+
+(** [low_biased] is Beta(2,10)·c(r). *)
+val low_biased : t
+
+val spike_and_slab : t
+(** 80 % uniform on [1, c(r)], 10 % spike at c(r) (key / FK into r), 10 % at
+    min(c(s), c(r)) (FK from r into s). The paper's recommended prior. *)
+
+(** [discrete] is a point mass at 0.1·c(r). *)
+val discrete : t
+
+val custom :
+  name:string ->
+  sample:(Monsoon_util.Rng.t -> c_own:float -> c_partner:float option -> float) ->
+  ?density:(x:float -> float) ->
+  unit ->
+  t
+(** An arbitrary prior — e.g. the two-point distributions of the paper's
+    Sec 2.3 walkthrough, or a data-set-specific "tailored" prior. *)
+
+val all : t list
+(** The seven priors in the paper's Table 2 order. *)
+
+val by_name : string -> t option

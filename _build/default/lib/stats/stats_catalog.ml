@@ -1,0 +1,52 @@
+open Monsoon_relalg
+
+type scope = Wildcard | For_pred of int | For_select
+
+type t = {
+  counts : (Relset.t, float) Hashtbl.t;
+  wildcard : (int, float) Hashtbl.t;       (* term id -> measured d *)
+  scoped : (int * int, float) Hashtbl.t;   (* (term id, pred id) -> assumed d *)
+  sel_scoped : (int, float) Hashtbl.t;     (* term id -> assumed d in selection context *)
+}
+
+let create () =
+  { counts = Hashtbl.create 32;
+    wildcard = Hashtbl.create 16;
+    scoped = Hashtbl.create 16;
+    sel_scoped = Hashtbl.create 16 }
+
+let copy t =
+  { counts = Hashtbl.copy t.counts;
+    wildcard = Hashtbl.copy t.wildcard;
+    scoped = Hashtbl.copy t.scoped;
+    sel_scoped = Hashtbl.copy t.sel_scoped }
+
+let set_count t mask c = Hashtbl.replace t.counts mask c
+let count t mask = Hashtbl.find_opt t.counts mask
+
+let set_distinct t ~term ~scope d =
+  match scope with
+  | Wildcard -> Hashtbl.replace t.wildcard term d
+  | For_pred p -> Hashtbl.replace t.scoped (term, p) d
+  | For_select -> Hashtbl.replace t.sel_scoped term d
+
+let distinct t ~term ~pred =
+  match Hashtbl.find_opt t.wildcard term with
+  | Some d -> Some d
+  | None -> (
+    match pred with
+    | Some p -> Hashtbl.find_opt t.scoped (term, p)
+    | None -> Hashtbl.find_opt t.sel_scoped term)
+
+let has_measurement t ~term = Hashtbl.mem t.wildcard term
+
+let counts t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+
+let distincts t =
+  Hashtbl.fold (fun k v acc -> (k, Wildcard, v) :: acc) t.wildcard []
+  @ Hashtbl.fold (fun (tm, p) v acc -> (tm, For_pred p, v) :: acc) t.scoped []
+  @ Hashtbl.fold (fun tm v acc -> (tm, For_select, v) :: acc) t.sel_scoped []
+
+let size t =
+  Hashtbl.length t.counts + Hashtbl.length t.wildcard + Hashtbl.length t.scoped
+  + Hashtbl.length t.sel_scoped

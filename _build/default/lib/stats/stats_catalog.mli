@@ -1,0 +1,40 @@
+(** The set of observed statistics S (paper Sec 4.1).
+
+    Two kinds of entries:
+    - result counts [c(r)], keyed by the relation-instance mask of the
+      expression (result cardinality is shape-independent — see {!Expr});
+    - distinct-value counts [d(F, r|s)], keyed by term and scope. A value
+      *measured* by an executed Σ pass is stored with [Wildcard] scope and
+      answers every predicate context; a value *assumed* while generating a
+      transition is scoped to the predicate it was sampled for.
+
+    The catalog is a small persistent-by-copy structure: MCTS clones it at
+    every stochastic transition. *)
+
+open Monsoon_relalg
+
+type scope =
+  | Wildcard       (** measured; answers every context *)
+  | For_pred of int  (** assumed while costing one join predicate *)
+  | For_select     (** assumed while costing a selection *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val set_count : t -> Relset.t -> float -> unit
+val count : t -> Relset.t -> float option
+
+val set_distinct : t -> term:int -> scope:scope -> float -> unit
+val distinct : t -> term:int -> pred:int option -> float option
+(** Wildcard entries take precedence; [pred = None] (selection context) only
+    matches wildcard or selection-scoped entries. *)
+
+val has_measurement : t -> term:int -> bool
+(** Is a wildcard (measured) distinct count present for the term? *)
+
+val counts : t -> (Relset.t * float) list
+val distincts : t -> (int * scope * float) list
+val size : t -> int
+(** Total number of entries, a cheap fingerprint for state hashing. *)

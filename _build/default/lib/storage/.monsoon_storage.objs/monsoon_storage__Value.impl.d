@@ -1,0 +1,1 @@
+lib/storage/value.ml: Float Format Hashing Int64 Monsoon_util Printf Stdlib String

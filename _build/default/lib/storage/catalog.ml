@@ -1,0 +1,17 @@
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let add t table =
+  let n = Table.name table in
+  if Hashtbl.mem t.tables n then
+    invalid_arg (Printf.sprintf "Catalog.add: duplicate table %s" n);
+  Hashtbl.add t.tables n table
+
+let find t name = Hashtbl.find t.tables name
+let mem t name = Hashtbl.mem t.tables name
+
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+
+let total_rows t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.cardinality tbl) t.tables 0

@@ -1,0 +1,14 @@
+(** A named collection of base tables — the database a query runs against. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Table.t -> unit
+(** Raises [Invalid_argument] if a table with the same name exists. *)
+
+val find : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val tables : t -> Table.t list
+val total_rows : t -> int

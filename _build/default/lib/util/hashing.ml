@@ -1,0 +1,19 @@
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let string s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h fnv_prime
+  done;
+  mix !h
+
+let int i = mix (Int64.of_int i)
+
+let combine a b = mix (Int64.add (Int64.mul a 0x9E3779B97F4A7C15L) b)

@@ -1,0 +1,17 @@
+(** 64-bit hashing used by the sketches.
+
+    The HyperLogLog analysis assumes hash outputs that behave like uniform
+    64-bit strings; the stdlib [Hashtbl.hash] only produces 30 bits, so we
+    provide FNV-1a over strings plus a strong avalanche finisher. *)
+
+val mix : int64 -> int64
+(** SplitMix64 finalizer: full-avalanche 64-bit mixing. *)
+
+val string : string -> int64
+(** FNV-1a 64-bit over the bytes of the string, then mixed. *)
+
+val int : int -> int64
+(** Mixes the two's-complement image of the integer. *)
+
+val combine : int64 -> int64 -> int64
+(** Order-dependent combination of two hashes. *)

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit native
+     int. Rejection-free modulo is fine for our purposes; bias is < 2^-40
+     for the domain sizes used here. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits into [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1p-53
+
+let float t x = unit_float t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable SplitMix64 generator. Everything stochastic in
+    the repository (data generators, priors, MCTS rollouts) threads one of
+    these explicitly so that every experiment is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a seed. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new, statistically independent
+    generator; useful to give sub-components their own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1]. Requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val unit_float : t -> float
+(** Uniform on [0, 1). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

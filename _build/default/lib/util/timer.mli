@@ -1,0 +1,18 @@
+(** Wall-clock timing helpers for the harness and the Monsoon driver's
+    component breakdown (paper Table 8). *)
+
+val now : unit -> float
+(** Monotonic-ish wall-clock seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result together with elapsed seconds. *)
+
+type accum
+(** A mutable accumulator of elapsed time across many sections. *)
+
+val accum : unit -> accum
+val add_to : accum -> (unit -> 'a) -> 'a
+(** Runs the thunk, adding its elapsed time to the accumulator. *)
+
+val total : accum -> float
+val reset : accum -> unit

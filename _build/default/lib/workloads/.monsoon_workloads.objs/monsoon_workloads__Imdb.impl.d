@@ -1,0 +1,1 @@
+lib/workloads/imdb.ml: Array Catalog Dist List Monsoon_relalg Monsoon_storage Monsoon_util Printf Query Rng Schema Table Udf Value Workload

@@ -1,0 +1,1 @@
+lib/workloads/ott.ml: Array Catalog Expr Fun List Monsoon_relalg Monsoon_storage Monsoon_util Printf Query Rng Schema Table Udf Value Workload

@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Array Catalog Dist List Monsoon_relalg Monsoon_storage Monsoon_util Query Rng Schema Table Udf Value Workload

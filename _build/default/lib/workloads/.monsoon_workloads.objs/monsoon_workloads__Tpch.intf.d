@@ -1,0 +1,1 @@
+lib/workloads/tpch.mli: Catalog Monsoon_relalg Monsoon_storage Workload

@@ -1,0 +1,1 @@
+lib/workloads/udf_bench.ml: Catalog Imdb List Monsoon_relalg Monsoon_storage Printf Query Table Tpch Udf Udf_library Value Workload

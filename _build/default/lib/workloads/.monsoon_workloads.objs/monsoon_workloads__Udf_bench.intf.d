@@ -1,0 +1,1 @@
+lib/workloads/udf_bench.mli: Catalog Monsoon_relalg Monsoon_storage Workload

@@ -1,0 +1,1 @@
+lib/workloads/udf_library.ml: Monsoon_relalg Monsoon_storage String Udf Value

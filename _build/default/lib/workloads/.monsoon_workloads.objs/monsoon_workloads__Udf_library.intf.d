@@ -1,0 +1,1 @@
+lib/workloads/udf_library.mli: Monsoon_relalg Udf

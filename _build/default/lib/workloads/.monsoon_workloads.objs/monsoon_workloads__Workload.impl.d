@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Catalog Expr List Monsoon_relalg Monsoon_storage Query

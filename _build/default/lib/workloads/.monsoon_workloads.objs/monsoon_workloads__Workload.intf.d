@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Catalog Expr Monsoon_relalg Monsoon_storage Query

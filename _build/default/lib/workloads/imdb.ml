@@ -1,0 +1,324 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+
+type config = { seed : int; scale : float }
+
+let default_config = { seed = 19_930_401; scale = 1.0 }
+
+let ic i = Value.Int i
+let sc s = Value.Str s
+
+let table name cols n rowgen =
+  let schema =
+    Schema.make (List.map (fun (c, ty) -> { Schema.name = c; ty }) cols)
+  in
+  Table.of_row_array ~name schema (Array.init n rowgen)
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  let s = cfg.scale in
+  let n x = max 1 (int_of_float (float_of_int x *. s)) in
+  let n_title = n 20_000 and n_company = n 2_500 and n_name = n 25_000 in
+  let n_mc = n 30_000 and n_ci = n 60_000 and n_mi = n 40_000 in
+  let n_keyword = n 5_000 and n_mk = n 30_000 in
+  let cat = Catalog.create () in
+  let add t = Catalog.add cat t in
+  (* Dimension tables. *)
+  add (table "kind_type" [ ("id", Value.TInt); ("kind", Value.TInt) ] 7
+         (fun i -> [| ic (i + 1); ic (i + 1) |]));
+  add (table "info_type" [ ("id", Value.TInt); ("info", Value.TInt) ] 20
+         (fun i -> [| ic (i + 1); ic (i + 1) |]));
+  add (table "company_type" [ ("id", Value.TInt); ("kind", Value.TInt) ] 4
+         (fun i -> [| ic (i + 1); ic (i + 1) |]));
+  add (table "role_type" [ ("id", Value.TInt); ("role", Value.TInt) ] 12
+         (fun i -> [| ic (i + 1); ic (i + 1) |]));
+  (* title: production year is *correlated* with kind (movies of different
+     kinds cluster in different eras), and kinds are heavily skewed. *)
+  let kind_dist = Dist.zipf_make ~n:7 ~z:1.3 in
+  let year_spread = Dist.zipf_make ~n:40 ~z:0.8 in
+  let title_kind = Array.make n_title 0 in
+  add
+    (table "title"
+       [ ("id", Value.TInt); ("kind_id", Value.TInt);
+         ("production_year", Value.TInt); ("phonetic_code", Value.TInt);
+         ("id_str", Value.TStr) ]
+       n_title
+       (fun i ->
+         let kind = Dist.zipf_draw rng kind_dist in
+         title_kind.(i) <- kind;
+         let base = 1880 + (kind * 15) in
+         let year = min 2019 (base + Dist.zipf_draw rng year_spread + Rng.int rng 40) in
+         [| ic (i + 1); ic kind; ic year; ic (1 + Rng.int rng 300);
+            sc (Printf.sprintf "id=%d;y=%d" (i + 1) year) |]));
+  (* company_name: country correlates with company id ranges and is very
+     head-heavy (a "US" takes a big share). *)
+  let country_dist = Dist.zipf_make ~n:60 ~z:1.5 in
+  add
+    (table "company_name"
+       [ ("id", Value.TInt); ("country_code", Value.TInt); ("name_str", Value.TStr) ]
+       n_company
+       (fun i ->
+         let country = Dist.zipf_draw rng country_dist in
+         [| ic (i + 1); ic country; sc (Printf.sprintf "Co#%d (%02d)" (i + 1) country) |]));
+  (* name: gender 1/2 with a rare 3; phonetic codes skewed. *)
+  let pcode_dist = Dist.zipf_make ~n:500 ~z:1.0 in
+  add
+    (table "name"
+       [ ("id", Value.TInt); ("gender", Value.TInt); ("name_pcode", Value.TInt);
+         ("id_str", Value.TStr) ]
+       n_name
+       (fun i ->
+         let gender = if Rng.int rng 100 < 2 then 3 else 1 + Rng.int rng 2 in
+         [| ic (i + 1); ic gender; ic (Dist.zipf_draw rng pcode_dist);
+            sc (Printf.sprintf "p:%d;g=%d" (i + 1) gender) |]));
+  (* Heavy-tailed movie references: popular titles accumulate most of the
+     cast, company, keyword, and info rows. Cast and info share one
+     popularity ranking (correlated heads, the JOB trap); companies and
+     keywords use a permuted ranking so not every satellite pair is
+     head-aligned. *)
+  let movie_ref = Dist.zipf_make ~n:n_title ~z:0.85 in
+  let movie_perm = Array.init n_title (fun i -> i + 1) in
+  Rng.shuffle rng movie_perm;
+  let movie_ref_permuted () = movie_perm.(Dist.zipf_draw rng movie_ref - 1) in
+  let company_ref = Dist.zipf_make ~n:n_company ~z:1.0 in
+  let person_ref = Dist.zipf_make ~n:n_name ~z:0.9 in
+  let ctype_dist = Dist.zipf_make ~n:4 ~z:1.0 in
+  add
+    (table "movie_companies"
+       [ ("movie_id", Value.TInt); ("company_id", Value.TInt);
+         ("company_type_id", Value.TInt); ("movie_ref", Value.TStr) ]
+       n_mc
+       (fun _ ->
+         let movie = movie_ref_permuted () in
+         [| ic movie; ic (Dist.zipf_draw rng company_ref);
+            ic (Dist.zipf_draw rng ctype_dist); sc (Printf.sprintf "m:%d" movie) |]));
+  let role_dist = Dist.zipf_make ~n:12 ~z:1.4 in
+  add
+    (table "cast_info"
+       [ ("movie_id", Value.TInt); ("person_id", Value.TInt); ("role_id", Value.TInt);
+         ("person_ref", Value.TStr); ("movie_ref", Value.TStr) ]
+       n_ci
+       (fun _ ->
+         let person = Dist.zipf_draw rng person_ref in
+         let movie = Dist.zipf_draw rng movie_ref in
+         [| ic movie; ic person; ic (Dist.zipf_draw rng role_dist);
+            sc (Printf.sprintf "ref(p%d)" person); sc (Printf.sprintf "m:%d" movie) |]));
+  (* movie_info: the value *determines* its info type (the JOB-style
+     correlation trap — independence across the two columns is badly
+     wrong). *)
+  let itype_dist = Dist.zipf_make ~n:20 ~z:1.0 in
+  let ival_dist = Dist.zipf_make ~n:300 ~z:1.2 in
+  add
+    (table "movie_info"
+       [ ("movie_id", Value.TInt); ("info_type_id", Value.TInt); ("info_val", Value.TInt) ]
+       n_mi
+       (fun _ ->
+         let ty = Dist.zipf_draw rng itype_dist in
+         [| ic (Dist.zipf_draw rng movie_ref); ic ty;
+            ic ((ty * 1000) + Dist.zipf_draw rng ival_dist) |]));
+  let keyword_code = Dist.zipf_make ~n:800 ~z:1.1 in
+  add
+    (table "keyword" [ ("id", Value.TInt); ("keyword_code", Value.TInt) ] n_keyword
+       (fun i -> [| ic (i + 1); ic (Dist.zipf_draw rng keyword_code) |]));
+  let kw_ref = Dist.zipf_make ~n:n_keyword ~z:1.0 in
+  add
+    (table "movie_keyword" [ ("movie_id", Value.TInt); ("keyword_id", Value.TInt) ] n_mk
+       (fun _ ->
+         [| ic (movie_ref_permuted ()); ic (Dist.zipf_draw rng kw_ref) |]));
+  cat
+
+(* --- JOB-style query suite --- *)
+
+let jp b t1 t2 = Query.Builder.join_pred b t1 t2
+let at b rel col = Query.Builder.term b (Udf.identity col) [ (rel, col) ]
+let sel b rel col v = Query.Builder.select_pred b (at b rel col) (Value.Int v)
+
+let template1 v b =
+  (* title x movie_companies x company_name. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  sel b cn "country_code" (1 + (v * 3));
+  if v mod 2 = 0 then sel b t "kind_id" (1 + v)
+
+let template2 v b =
+  (* title x cast_info x name. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+  let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+  jp b (at b t "id") (at b ci "movie_id");
+  jp b (at b ci "person_id") (at b n "id");
+  sel b n "gender" (1 + (v mod 3));
+  sel b t "production_year" (1930 + (v * 17))
+
+let template3 v b =
+  (* title x movie_info x info_type x kind_type. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mi = Query.Builder.rel b ~table:"movie_info" ~alias:"mi" in
+  let it = Query.Builder.rel b ~table:"info_type" ~alias:"it" in
+  let kt = Query.Builder.rel b ~table:"kind_type" ~alias:"kt" in
+  jp b (at b t "id") (at b mi "movie_id");
+  jp b (at b mi "info_type_id") (at b it "id");
+  jp b (at b t "kind_id") (at b kt "id");
+  sel b it "info" (1 + (v * 4));
+  sel b kt "kind" (1 + (v mod 7))
+
+let template4 v b =
+  (* title x movie_keyword x keyword x kind_type. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mk = Query.Builder.rel b ~table:"movie_keyword" ~alias:"mk" in
+  let k = Query.Builder.rel b ~table:"keyword" ~alias:"k" in
+  let kt = Query.Builder.rel b ~table:"kind_type" ~alias:"kt" in
+  jp b (at b t "id") (at b mk "movie_id");
+  jp b (at b mk "keyword_id") (at b k "id");
+  jp b (at b t "kind_id") (at b kt "id");
+  sel b k "keyword_code" (2 + (v * 30))
+
+let template5 v b =
+  (* title x movie_companies x company_name x company_type x kind_type. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  let ct = Query.Builder.rel b ~table:"company_type" ~alias:"ct" in
+  let kt = Query.Builder.rel b ~table:"kind_type" ~alias:"kt" in
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  jp b (at b mc "company_type_id") (at b ct "id");
+  jp b (at b t "kind_id") (at b kt "id");
+  sel b ct "kind" (1 + (v mod 4));
+  sel b cn "country_code" (1 + v)
+
+let template6 v b =
+  (* title x cast_info x name x role_type x movie_info. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+  let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+  let rt = Query.Builder.rel b ~table:"role_type" ~alias:"rt" in
+  let mi = Query.Builder.rel b ~table:"movie_info" ~alias:"mi" in
+  jp b (at b t "id") (at b ci "movie_id");
+  jp b (at b ci "person_id") (at b n "id");
+  jp b (at b ci "role_id") (at b rt "id");
+  jp b (at b t "id") (at b mi "movie_id");
+  sel b rt "role" (1 + (v mod 12));
+  sel b mi "info_val" (((1 + (v mod 5)) * 1000) + 1 + v)
+
+let template7 v b =
+  (* 6-way: companies and cast around title. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+  let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+  let kt = Query.Builder.rel b ~table:"kind_type" ~alias:"kt" in
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  jp b (at b t "id") (at b ci "movie_id");
+  jp b (at b ci "person_id") (at b n "id");
+  jp b (at b t "kind_id") (at b kt "id");
+  sel b cn "country_code" (1 + (v * 2));
+  sel b n "gender" (1 + (v mod 2))
+
+let template8 v b =
+  (* 6-way: info and keywords around title. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mi = Query.Builder.rel b ~table:"movie_info" ~alias:"mi" in
+  let it = Query.Builder.rel b ~table:"info_type" ~alias:"it" in
+  let mk = Query.Builder.rel b ~table:"movie_keyword" ~alias:"mk" in
+  let k = Query.Builder.rel b ~table:"keyword" ~alias:"k" in
+  let kt = Query.Builder.rel b ~table:"kind_type" ~alias:"kt" in
+  jp b (at b t "id") (at b mi "movie_id");
+  jp b (at b mi "info_type_id") (at b it "id");
+  jp b (at b t "id") (at b mk "movie_id");
+  jp b (at b mk "keyword_id") (at b k "id");
+  jp b (at b t "kind_id") (at b kt "id");
+  sel b it "info" (3 + (v * 3));
+  sel b k "keyword_code" (1 + (v * 50))
+
+let template9 v b =
+  (* 7-way star around title. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  let mk = Query.Builder.rel b ~table:"movie_keyword" ~alias:"mk" in
+  let k = Query.Builder.rel b ~table:"keyword" ~alias:"k" in
+  let mi = Query.Builder.rel b ~table:"movie_info" ~alias:"mi" in
+  let it = Query.Builder.rel b ~table:"info_type" ~alias:"it" in
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  jp b (at b t "id") (at b mk "movie_id");
+  jp b (at b mk "keyword_id") (at b k "id");
+  jp b (at b t "id") (at b mi "movie_id");
+  jp b (at b mi "info_type_id") (at b it "id");
+  sel b cn "country_code" (1 + v);
+  sel b k "keyword_code" (5 + (v * 20));
+  sel b it "info" (1 + (v * 2))
+
+let template10 v b =
+  (* Two movie_info instances (the classic JOB self-join shape). *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let mi1 = Query.Builder.rel b ~table:"movie_info" ~alias:"mi1" in
+  let it1 = Query.Builder.rel b ~table:"info_type" ~alias:"it1" in
+  let mi2 = Query.Builder.rel b ~table:"movie_info" ~alias:"mi2" in
+  let it2 = Query.Builder.rel b ~table:"info_type" ~alias:"it2" in
+  jp b (at b t "id") (at b mi1 "movie_id");
+  jp b (at b mi1 "info_type_id") (at b it1 "id");
+  jp b (at b t "id") (at b mi2 "movie_id");
+  jp b (at b mi2 "info_type_id") (at b it2 "id");
+  sel b it1 "info" (1 + v);
+  sel b it2 "info" (10 + v)
+
+let template11 v b =
+  (* People and companies: 5-way chain. *)
+  let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  jp b (at b ci "movie_id") (at b t "id");
+  jp b (at b ci "person_id") (at b n "id");
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  sel b t "production_year" (1950 + (v * 13));
+  sel b cn "country_code" (1 + (v mod 4))
+
+let template12 v b =
+  (* 7-way with people, companies, keywords. *)
+  let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+  let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+  let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+  let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+  let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+  let mk = Query.Builder.rel b ~table:"movie_keyword" ~alias:"mk" in
+  let k = Query.Builder.rel b ~table:"keyword" ~alias:"k" in
+  jp b (at b t "id") (at b ci "movie_id");
+  jp b (at b ci "person_id") (at b n "id");
+  jp b (at b t "id") (at b mc "movie_id");
+  jp b (at b mc "company_id") (at b cn "id");
+  jp b (at b t "id") (at b mk "movie_id");
+  jp b (at b mk "keyword_id") (at b k "id");
+  sel b n "name_pcode" (1 + (v * 7));
+  sel b k "keyword_code" (1 + (v * 11))
+
+let templates =
+  [ template1; template2; template3; template4; template5; template6;
+    template7; template8; template9; template10; template11; template12 ]
+
+let queries () =
+  List.concat
+    (List.mapi
+       (fun ti template ->
+         List.init 5 (fun v ->
+             let name = Printf.sprintf "iq%d" ((ti * 5) + v + 1) in
+             let b = Query.Builder.create ~name in
+             template v b;
+             (name, Query.Builder.build b)))
+       templates)
+
+let workload cfg =
+  { Workload.name = "IMDB";
+    catalog = generate cfg;
+    queries = queries ();
+    hand_written = None }

@@ -1,0 +1,28 @@
+(** A synthetic IMDB-shaped database and a JOB-style query suite.
+
+    The paper evaluates on the IMDB Join Order Benchmark (Leis et al.): a
+    real data set whose difficulty comes from skew and cross-column
+    correlations, bootstrap-enlarged 5×. We reproduce those properties
+    synthetically: heavy-tailed (Zipf) fan-in on every movie reference,
+    correlated attributes (production year depends on title kind; info
+    values determine their info type; company country correlates with
+    company type), and string-encoded key columns that the UDF benchmark
+    parses with opaque extractors.
+
+    The suite contains 60 generated queries over JOB's template shapes
+    (3–7 instances, chains and stars around [title]); the 20 most expensive
+    under the full-statistics baseline form the paper's "IMDB-20" subset
+    (selected by the harness). *)
+
+open Monsoon_storage
+
+type config = { seed : int; scale : float }
+
+val default_config : config
+
+val generate : config -> Catalog.t
+
+val queries : unit -> (string * Monsoon_relalg.Query.t) list
+(** The 60 JOB-style queries ([iq1] … [iq60]). *)
+
+val workload : config -> Workload.t

@@ -1,0 +1,142 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+
+type config = { seed : int; scale : float; domain : int }
+
+let default_config = { seed = 16_180_339; scale = 1.0; domain = 100 }
+
+let table_sizes = [| 4_000; 6_000; 8_000; 10_000; 12_000; 14_000 |]
+let table_name i = Printf.sprintf "ott%d" (i + 1)
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  let cat = Catalog.create () in
+  Array.iteri
+    (fun i base ->
+      let n = max 1 (int_of_float (float_of_int base *. cfg.scale)) in
+      let schema =
+        Schema.make
+          [ { Schema.name = "pk"; ty = Value.TInt };
+            { Schema.name = "x"; ty = Value.TInt };
+            { Schema.name = "y"; ty = Value.TInt } ]
+      in
+      let rows =
+        Array.init n (fun j ->
+            (* y is a deterministic function of x: perfectly correlated. *)
+            let x = 1 + Rng.int rng cfg.domain in
+            [| Value.Int (j + 1); Value.Int x; Value.Int x |])
+      in
+      Catalog.add cat (Table.of_row_array ~name:(table_name i) schema rows))
+    table_sizes;
+  cat
+
+(* One torture query: a chain over [tables] (indices into the six OTT
+   tables); consecutive instances are joined on BOTH x and y; [y] is pinned
+   to two different constants at chain positions [f1] and [f2]. *)
+let make_query ~name ~tables ~f1 ~f2 ~c1 ~c2 =
+  let b = Query.Builder.create ~name in
+  let rels =
+    List.mapi
+      (fun pos ti ->
+        Query.Builder.rel b ~table:(table_name ti)
+          ~alias:(Printf.sprintf "%s_%d" (table_name ti) pos))
+      tables
+  in
+  let at rel col = Query.Builder.term b (Udf.identity col) [ (rel, col) ] in
+  let rec chain = function
+    | a :: (b' :: _ as rest) ->
+      Query.Builder.join_pred b (at a "x") (at b' "x");
+      Query.Builder.join_pred b (at a "y") (at b' "y");
+      chain rest
+    | [ _ ] | [] -> ()
+  in
+  chain rels;
+  Query.Builder.select_pred b (at (List.nth rels f1) "y") (Value.Int c1);
+  Query.Builder.select_pred b (at (List.nth rels f2) "y") (Value.Int c2);
+  Query.Builder.build b
+
+let specs =
+  (* (tables, filter position 1, filter position 2, constants). The two
+     constants always differ, so the result is empty. *)
+  [ ([ 0; 1; 2 ], 0, 1, 1, 2);
+    ([ 1; 2; 3 ], 0, 2, 3, 4);
+    ([ 2; 3; 4 ], 1, 2, 5, 6);
+    ([ 3; 4; 5 ], 0, 1, 7, 8);
+    ([ 0; 2; 4 ], 0, 2, 9, 10);
+    ([ 1; 3; 5 ], 1, 2, 11, 12);
+    ([ 0; 1; 2; 3 ], 0, 1, 1, 3);
+    ([ 1; 2; 3; 4 ], 0, 3, 2, 4);
+    ([ 2; 3; 4; 5 ], 1, 2, 5, 7);
+    ([ 0; 1; 3; 5 ], 0, 2, 6, 8);
+    ([ 0; 2; 3; 4 ], 2, 3, 9, 11);
+    ([ 1; 2; 4; 5 ], 0, 1, 10, 12);
+    ([ 0; 3; 4; 5 ], 1, 3, 13, 14);
+    ([ 0; 1; 2; 3; 4 ], 0, 1, 1, 5);
+    ([ 1; 2; 3; 4; 5 ], 0, 4, 2, 6);
+    ([ 0; 1; 2; 4; 5 ], 1, 2, 3, 7);
+    ([ 0; 1; 3; 4; 5 ], 2, 4, 4, 8);
+    ([ 0; 2; 3; 4; 5 ], 0, 3, 5, 9);
+    ([ 0; 1; 2; 3; 5 ], 3, 4, 6, 10);
+    ([ 1; 0; 2; 4; 3 ], 0, 1, 7, 11) ]
+
+let queries _cfg =
+  List.mapi
+    (fun i (tables, f1, f2, c1, c2) ->
+      let name = Printf.sprintf "oq%d" (i + 1) in
+      (name, make_query ~name ~tables ~f1 ~f2 ~c1 ~c2))
+    specs
+
+(* The expert plan. Instance ids follow chain positions, and the two
+   filtered instances anchor two cheap sub-chains: grow one side from each
+   filter outwards (every extension stays pinned to the filter constant),
+   then join the two sides — which is empty, making the whole pipeline
+   nearly free. Degenerates to filtered-first left-deep when a side is
+   empty. *)
+let hand_written _name q =
+  let n = Query.n_rels q in
+  let filtered =
+    List.filter (fun i -> Query.select_preds_of_rel q i <> []) (List.init n Fun.id)
+  in
+  match filtered with
+  | [ f1; f2 ] when f1 < f2 ->
+    (* Close the contradiction as early as possible: grow one sub-chain
+       from each filter toward the midpoint between them, join the two
+       (empty!) and only then attach the outer instances — every later
+       join is free. *)
+    let mid = (f1 + f2) / 2 in
+    let left_deep = function
+      | [] -> None
+      | first :: rest ->
+        Some
+          (List.fold_left (fun acc i -> Expr.join acc (Expr.base i)) (Expr.base first) rest)
+    in
+    let core_a = left_deep (List.init (mid - f1 + 1) (fun k -> f1 + k)) in
+    let core_b = left_deep (List.init (f2 - mid) (fun k -> f2 - k)) in
+    let core =
+      match (core_a, core_b) with
+      | Some a, Some b -> Expr.join a b
+      | Some a, None -> a
+      | None, Some b -> b
+      | None, None -> invalid_arg "Ott.hand_written: empty query"
+    in
+    let outer =
+      List.init f1 (fun k -> f1 - 1 - k)  (* f1-1 down to 0 *)
+      @ List.init (n - f2 - 1) (fun k -> f2 + 1 + k)
+    in
+    List.fold_left (fun acc i -> Expr.join acc (Expr.base i)) core outer
+  | _ -> (
+    (* Fallback: filtered instances first, then chain order. *)
+    let unfiltered =
+      List.filter (fun i -> not (List.mem i filtered)) (List.init n Fun.id)
+    in
+    match filtered @ unfiltered with
+    | [] -> invalid_arg "Ott.hand_written: empty query"
+    | first :: rest ->
+      List.fold_left (fun acc i -> Expr.join acc (Expr.base i)) (Expr.base first) rest)
+
+let workload cfg =
+  { Workload.name = "OTT";
+    catalog = generate cfg;
+    queries = queries cfg;
+    hand_written = Some hand_written }

@@ -1,0 +1,33 @@
+(** Correlated Optimizer Torture Tests, after Wu et al. (SIGMOD 2016),
+    Sec 5.3 — the construction the paper's Table 6 uses.
+
+    Each table carries a pair of perfectly correlated columns [x] and [y]
+    ([y] is a function of [x]). Every join predicate between two tables
+    requires *both* columns to match, so an independence-assuming optimizer
+    under-estimates every join by a factor of the domain size D. Selections
+    pin [y] to two different constants on two different tables, making the
+    final result provably empty — a plan that joins the filtered tables
+    early is almost free, while plans that start among the unfiltered
+    tables generate enormous intermediates. Hand-written expert plans
+    (join the filtered pair first) are provided as the paper's baseline. *)
+
+open Monsoon_storage
+
+type config = {
+  seed : int;
+  scale : float;
+  domain : int;  (** distinct values D of the correlated columns *)
+}
+
+val default_config : config
+
+val generate : config -> Catalog.t
+
+val queries : config -> (string * Monsoon_relalg.Query.t) list
+(** Twenty torture queries ([oq1] … [oq20]), 3–5 instances each; every
+    final result is empty. *)
+
+val hand_written : string -> Monsoon_relalg.Query.t -> Monsoon_relalg.Expr.t
+(** The expert plan: left-deep, filtered instances first. *)
+
+val workload : config -> Workload.t

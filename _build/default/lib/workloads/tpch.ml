@@ -1,0 +1,286 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+
+type skew = Plain | Low | High | Mixed
+
+let skew_name = function
+  | Plain -> "TPC-H"
+  | Low -> "Low"
+  | High -> "High"
+  | Mixed -> "Mixed"
+
+type config = { seed : int; scale : float; skew : skew }
+
+let default_config = { seed = 20_200_614; scale = 1.0; skew = Plain }
+
+(* Per-column value source: uniform under Plain, Zipf otherwise. The Mixed
+   variant draws a fresh z for every column, as the paper describes. *)
+let column_z rng = function
+  | Plain -> 0.0
+  | Low -> 1.0
+  | High -> 4.0
+  | Mixed -> Rng.float rng 4.0
+
+(* A categorical/FK column over [1, n] with the workload's skew. *)
+let make_col rng cfg n =
+  let z = column_z rng cfg.skew in
+  if z = 0.0 then fun () -> 1 + Rng.int rng n
+  else begin
+    let dist = Dist.zipf_make ~n ~z in
+    fun () -> Dist.zipf_draw rng dist
+  end
+
+let ic i = Value.Int i
+
+let table name cols n rowgen =
+  let schema =
+    Schema.make (List.map (fun (c, ty) -> { Schema.name = c; ty }) cols)
+  in
+  Table.of_row_array ~name schema (Array.init n rowgen)
+
+let generate cfg =
+  let rng = Rng.create cfg.seed in
+  let s = cfg.scale in
+  let n x = max 1 (int_of_float (float_of_int x *. s)) in
+  let n_region = 5 and n_nation = 25 in
+  let n_supplier = n 200 and n_part = n 2000 and n_partsupp = n 8000 in
+  let n_customer = n 1500 and n_orders = n 15_000 and n_lineitem = n 60_000 in
+  let cat = Catalog.create () in
+  let add t = Catalog.add cat t in
+  add
+    (table "region" [ ("r_regionkey", Value.TInt); ("r_name", Value.TInt) ]
+       n_region (fun i -> [| ic (i + 1); ic (i + 1) |]));
+  let nation_region = make_col rng cfg n_region in
+  add
+    (table "nation"
+       [ ("n_nationkey", Value.TInt); ("n_regionkey", Value.TInt); ("n_name", Value.TInt) ]
+       n_nation (fun i -> [| ic (i + 1); ic (nation_region ()); ic (i + 1) |]));
+  let supp_nation = make_col rng cfg n_nation in
+  let acctbal = make_col rng cfg 10_000 in
+  add
+    (table "supplier"
+       [ ("s_suppkey", Value.TInt); ("s_nationkey", Value.TInt); ("s_acctbal", Value.TInt) ]
+       n_supplier (fun i -> [| ic (i + 1); ic (supp_nation ()); ic (acctbal ()) |]));
+  let p_brand = make_col rng cfg 25 in
+  let p_type = make_col rng cfg 150 in
+  let p_size = make_col rng cfg 50 in
+  let p_container = make_col rng cfg 40 in
+  add
+    (table "part"
+       [ ("p_partkey", Value.TInt); ("p_brand", Value.TInt); ("p_type", Value.TInt);
+         ("p_size", Value.TInt); ("p_container", Value.TInt) ]
+       n_part
+       (fun i -> [| ic (i + 1); ic (p_brand ()); ic (p_type ()); ic (p_size ()); ic (p_container ()) |]));
+  let ps_part = make_col rng cfg n_part in
+  let ps_supp = make_col rng cfg n_supplier in
+  let ps_qty = make_col rng cfg 10_000 in
+  add
+    (table "partsupp"
+       [ ("ps_partkey", Value.TInt); ("ps_suppkey", Value.TInt); ("ps_availqty", Value.TInt) ]
+       n_partsupp (fun _ -> [| ic (ps_part ()); ic (ps_supp ()); ic (ps_qty ()) |]));
+  let c_nation = make_col rng cfg n_nation in
+  let c_mkt = make_col rng cfg 5 in
+  add
+    (table "customer"
+       [ ("c_custkey", Value.TInt); ("c_nationkey", Value.TInt);
+         ("c_mktsegment", Value.TInt); ("c_acctbal", Value.TInt) ]
+       n_customer
+       (fun i -> [| ic (i + 1); ic (c_nation ()); ic (c_mkt ()); ic (acctbal ()) |]));
+  let o_cust = make_col rng cfg n_customer in
+  let o_priority = make_col rng cfg 5 in
+  let o_date = make_col rng cfg 30 in
+  let o_total = make_col rng cfg 100_000 in
+  add
+    (table "orders"
+       [ ("o_orderkey", Value.TInt); ("o_custkey", Value.TInt);
+         ("o_orderpriority", Value.TInt); ("o_orderdate", Value.TDate);
+         ("o_totalprice", Value.TInt) ]
+       n_orders
+       (fun i ->
+         [| ic (i + 1); ic (o_cust ()); ic (o_priority ());
+            Value.Date (10_000 + o_date ()); ic (o_total ()) |]));
+  let l_order = make_col rng cfg n_orders in
+  let l_part = make_col rng cfg n_part in
+  let l_supp = make_col rng cfg n_supplier in
+  let l_qty = make_col rng cfg 50 in
+  let l_ship = make_col rng cfg 30 in
+  let l_disc = make_col rng cfg 11 in
+  let l_flag = make_col rng cfg 3 in
+  add
+    (table "lineitem"
+       [ ("l_orderkey", Value.TInt); ("l_partkey", Value.TInt); ("l_suppkey", Value.TInt);
+         ("l_quantity", Value.TInt); ("l_shipdate", Value.TDate);
+         ("l_discount", Value.TInt); ("l_returnflag", Value.TInt) ]
+       n_lineitem
+       (fun _ ->
+         [| ic (l_order ()); ic (l_part ()); ic (l_supp ()); ic (l_qty ());
+            Value.Date (10_000 + l_ship ()); ic (l_disc ()); ic (l_flag ()) |]));
+  cat
+
+(* --- Query suite --- *)
+
+(* Builder helpers: every attribute reference is wrapped in an identity UDF,
+   so none of its statistics are visible to the optimizer. *)
+let jp b t1 t2 = Query.Builder.join_pred b t1 t2
+let at b rel col = Query.Builder.term b (Udf.identity col) [ (rel, col) ]
+let sel b rel col v = Query.Builder.select_pred b (at b rel col) (Value.Int v)
+let seld b rel col v = Query.Builder.select_pred b (at b rel col) (Value.Date v)
+
+let q name f =
+  let b = Query.Builder.create ~name in
+  f b;
+  (name, Query.Builder.build b)
+
+let queries () =
+  [ (* Q3 shape: customer x orders x lineitem. *)
+    q "tq1" (fun b ->
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        jp b (at b c "c_custkey") (at b o "o_custkey");
+        jp b (at b o "o_orderkey") (at b l "l_orderkey");
+        sel b c "c_mktsegment" 1;
+        sel b o "o_orderpriority" 2);
+    (* Q10 shape: customer x orders x lineitem x nation. *)
+    q "tq2" (fun b ->
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        jp b (at b c "c_custkey") (at b o "o_custkey");
+        jp b (at b o "o_orderkey") (at b l "l_orderkey");
+        jp b (at b c "c_nationkey") (at b n "n_nationkey");
+        sel b l "l_returnflag" 2);
+    (* Q5 shape: 6-way with region. *)
+    q "tq3" (fun b ->
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+        jp b (at b c "c_custkey") (at b o "o_custkey");
+        jp b (at b o "o_orderkey") (at b l "l_orderkey");
+        jp b (at b l "l_suppkey") (at b su "s_suppkey");
+        jp b (at b su "s_nationkey") (at b n "n_nationkey");
+        jp b (at b n "n_regionkey") (at b r "r_regionkey");
+        sel b r "r_name" 2);
+    (* Q2 shape: part x partsupp x supplier x nation x region. *)
+    q "tq4" (fun b ->
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        let ps = Query.Builder.rel b ~table:"partsupp" ~alias:"ps" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+        jp b (at b p "p_partkey") (at b ps "ps_partkey");
+        jp b (at b ps "ps_suppkey") (at b su "s_suppkey");
+        jp b (at b su "s_nationkey") (at b n "n_nationkey");
+        jp b (at b n "n_regionkey") (at b r "r_regionkey");
+        sel b p "p_size" 15);
+    (* Q7 shape: two nation instances. *)
+    q "tq5" (fun b ->
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let n1 = Query.Builder.rel b ~table:"nation" ~alias:"n1" in
+        let n2 = Query.Builder.rel b ~table:"nation" ~alias:"n2" in
+        jp b (at b su "s_suppkey") (at b l "l_suppkey");
+        jp b (at b l "l_orderkey") (at b o "o_orderkey");
+        jp b (at b o "o_custkey") (at b c "c_custkey");
+        jp b (at b su "s_nationkey") (at b n1 "n_nationkey");
+        jp b (at b c "c_nationkey") (at b n2 "n_nationkey");
+        sel b n1 "n_name" 3;
+        sel b n2 "n_name" 7);
+    (* Q8 shape: 7-way. *)
+    q "tq6" (fun b ->
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+        jp b (at b p "p_partkey") (at b l "l_partkey");
+        jp b (at b l "l_suppkey") (at b su "s_suppkey");
+        jp b (at b l "l_orderkey") (at b o "o_orderkey");
+        jp b (at b o "o_custkey") (at b c "c_custkey");
+        jp b (at b c "c_nationkey") (at b n "n_nationkey");
+        jp b (at b n "n_regionkey") (at b r "r_regionkey");
+        sel b p "p_type" 40;
+        sel b r "r_name" 1);
+    (* Q9 shape: part x partsupp x lineitem x supplier x orders x nation. *)
+    q "tq7" (fun b ->
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        let ps = Query.Builder.rel b ~table:"partsupp" ~alias:"ps" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        jp b (at b p "p_partkey") (at b l "l_partkey");
+        jp b (at b ps "ps_partkey") (at b l "l_partkey");
+        jp b (at b ps "ps_suppkey") (at b l "l_suppkey");
+        jp b (at b l "l_suppkey") (at b su "s_suppkey");
+        jp b (at b l "l_orderkey") (at b o "o_orderkey");
+        jp b (at b su "s_nationkey") (at b n "n_nationkey");
+        sel b p "p_brand" 12);
+    (* Chain: region -> nation -> supplier -> partsupp -> part. *)
+    q "tq8" (fun b ->
+        let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        let ps = Query.Builder.rel b ~table:"partsupp" ~alias:"ps" in
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        jp b (at b r "r_regionkey") (at b n "n_regionkey");
+        jp b (at b n "n_nationkey") (at b su "s_nationkey");
+        jp b (at b su "s_suppkey") (at b ps "ps_suppkey");
+        jp b (at b ps "ps_partkey") (at b p "p_partkey");
+        sel b p "p_container" 9);
+    (* Orders x lineitem x part with selective part filter. *)
+    q "tq9" (fun b ->
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        jp b (at b o "o_orderkey") (at b l "l_orderkey");
+        jp b (at b l "l_partkey") (at b p "p_partkey");
+        sel b p "p_type" 77;
+        sel b o "o_orderpriority" 1);
+    (* Star on lineitem. *)
+    q "tq10" (fun b ->
+        let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        let su = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+        jp b (at b l "l_orderkey") (at b o "o_orderkey");
+        jp b (at b l "l_partkey") (at b p "p_partkey");
+        jp b (at b l "l_suppkey") (at b su "s_suppkey");
+        sel b p "p_brand" 3;
+        seld b o "o_orderdate" 10_005);
+    (* Two lineitem instances through part (self-join flavor). *)
+    q "tq11" (fun b ->
+        let l1 = Query.Builder.rel b ~table:"lineitem" ~alias:"l1" in
+        let l2 = Query.Builder.rel b ~table:"lineitem" ~alias:"l2" in
+        let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+        jp b (at b l1 "l_partkey") (at b p "p_partkey");
+        jp b (at b l2 "l_partkey") (at b p "p_partkey");
+        sel b l1 "l_returnflag" 1;
+        sel b l2 "l_returnflag" 3;
+        sel b p "p_size" 21);
+    (* Customer geography chain with orders fan-out. *)
+    q "tq12" (fun b ->
+        let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+        let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+        let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+        let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+        jp b (at b r "r_regionkey") (at b n "n_regionkey");
+        jp b (at b n "n_nationkey") (at b c "c_nationkey");
+        jp b (at b c "c_custkey") (at b o "o_custkey");
+        sel b r "r_name" 4;
+        sel b o "o_orderpriority" 3) ]
+
+let workload cfg =
+  { Workload.name = skew_name cfg.skew;
+    catalog = generate cfg;
+    queries = queries ();
+    hand_written = None }

@@ -1,0 +1,36 @@
+(** A scaled-down TPC-H-like database generator with optional Zipfian skew
+    (the paper's Sec 6.2.1 uses TPC-H SF 100 plus the Chaudhuri–Narasayya
+    skewed generator at z = 1, z = 4, and per-column mixed skew).
+
+    Schema shape (keys, foreign keys, fan-outs, small categorical domains)
+    follows TPC-H; row counts are scaled so experiments run in-memory. All
+    join columns and filter columns use the same relative cardinalities as
+    the original, which is what join ordering depends on. *)
+
+open Monsoon_storage
+
+type skew =
+  | Plain  (** uniform values, the standard generator *)
+  | Low  (** z = 1 *)
+  | High  (** z = 4 *)
+  | Mixed  (** per-column z drawn uniformly from [0, 4] *)
+
+val skew_name : skew -> string
+
+type config = {
+  seed : int;
+  scale : float;  (** 1.0 ≈ 87k rows across all tables *)
+  skew : skew;
+}
+
+val default_config : config
+
+val generate : config -> Catalog.t
+
+val queries : unit -> (string * Monsoon_relalg.Query.t) list
+(** Twelve join-order-heavy queries (3–7 instances) modeled on the TPC-H
+    queries with a non-trivial join ordering problem (Q2/3/5/7/8/9/10
+    shapes plus extra chains). All predicate terms are opaque identity
+    UDFs: the optimizer sees no statistics. *)
+
+val workload : config -> Workload.t

@@ -1,0 +1,177 @@
+open Monsoon_storage
+open Monsoon_relalg
+
+type config = { seed : int; imdb_scale : float; tpch_scale : float }
+
+let default_config = { seed = 27_182_818; imdb_scale = 0.5; tpch_scale = 0.5 }
+
+let generate cfg =
+  let imdb = Imdb.generate { Imdb.seed = cfg.seed; scale = cfg.imdb_scale } in
+  let tpch =
+    Tpch.generate
+      { Tpch.seed = cfg.seed + 1; scale = cfg.tpch_scale; skew = Tpch.Plain }
+  in
+  let cat = Catalog.create () in
+  List.iter (Catalog.add cat) (Catalog.tables imdb);
+  List.iter (Catalog.add cat) (Catalog.tables tpch);
+  cat
+
+let jp b t1 t2 = Query.Builder.join_pred b t1 t2
+let at b rel col = Query.Builder.term b (Udf.identity col) [ (rel, col) ]
+let term b udf args = Query.Builder.term b udf args
+let sel b t v = Query.Builder.select_pred b t (Value.Int v)
+
+let q name f =
+  let b = Query.Builder.create ~name in
+  f b;
+  (name, Query.Builder.build b)
+
+(* --- 15 IMDB queries through string-extraction UDFs --- *)
+
+let imdb_udf_queries =
+  let open Udf_library in
+  (* t x ci x n, everything through string parsing. *)
+  let people v b =
+    let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+    let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+    let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+    jp b (term b title_id [ (t, "id_str") ]) (term b movie_ref_id [ (ci, "movie_ref") ]);
+    jp b (term b person_ref_id [ (ci, "person_ref") ]) (term b name_id [ (n, "id_str") ]);
+    sel b (term b name_gender [ (n, "id_str") ]) (1 + (v mod 2));
+    if v >= 2 then sel b (term b title_year [ (t, "id_str") ]) (1930 + (v * 19))
+  in
+  (* t x mc x cn: movie ref parsed, company country extracted. *)
+  let companies v b =
+    let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+    let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+    let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+    jp b (term b title_id [ (t, "id_str") ]) (term b movie_ref_id [ (mc, "movie_ref") ]);
+    jp b (at b mc "company_id") (at b cn "id");
+    sel b (term b company_country [ (cn, "name_str") ]) (1 + v)
+  in
+  (* 5-way star: people + companies. *)
+  let star v b =
+    let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+    let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+    let n = Query.Builder.rel b ~table:"name" ~alias:"n" in
+    let mc = Query.Builder.rel b ~table:"movie_companies" ~alias:"mc" in
+    let cn = Query.Builder.rel b ~table:"company_name" ~alias:"cn" in
+    jp b (term b title_id [ (t, "id_str") ]) (term b movie_ref_id [ (ci, "movie_ref") ]);
+    jp b (term b person_ref_id [ (ci, "person_ref") ]) (term b name_id [ (n, "id_str") ]);
+    jp b (term b title_id [ (t, "id_str") ]) (term b movie_ref_id [ (mc, "movie_ref") ]);
+    jp b (at b mc "company_id") (at b cn "id");
+    sel b (term b company_country [ (cn, "name_str") ]) (1 + v);
+    sel b (term b name_gender [ (n, "id_str") ]) (1 + (v mod 2))
+  in
+  (* t x mi x it with a parsed-year filter. *)
+  let info v b =
+    let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+    let mi = Query.Builder.rel b ~table:"movie_info" ~alias:"mi" in
+    let it = Query.Builder.rel b ~table:"info_type" ~alias:"it" in
+    jp b (at b t "id") (at b mi "movie_id");
+    jp b (at b mi "info_type_id") (at b it "id");
+    sel b (term b title_year [ (t, "id_str") ]) (1925 + (v * 23));
+    sel b (at b it "info") (1 + (v * 3))
+  in
+  (* 4-way: keywords with a parsed movie id join. *)
+  let keywords v b =
+    let t = Query.Builder.rel b ~table:"title" ~alias:"t" in
+    let mk = Query.Builder.rel b ~table:"movie_keyword" ~alias:"mk" in
+    let k = Query.Builder.rel b ~table:"keyword" ~alias:"k" in
+    let ci = Query.Builder.rel b ~table:"cast_info" ~alias:"ci" in
+    jp b (at b t "id") (at b mk "movie_id");
+    jp b (at b mk "keyword_id") (at b k "id");
+    jp b (term b title_id [ (t, "id_str") ]) (term b movie_ref_id [ (ci, "movie_ref") ]);
+    sel b (at b k "keyword_code") (1 + (v * 25))
+  in
+  List.concat
+    [ List.init 3 (fun v -> q (Printf.sprintf "uq%d" (v + 1)) (people v));
+      List.init 3 (fun v -> q (Printf.sprintf "uq%d" (v + 4)) (companies v));
+      List.init 3 (fun v -> q (Printf.sprintf "uq%d" (v + 7)) (star v));
+      List.init 3 (fun v -> q (Printf.sprintf "uq%d" (v + 10)) (info v));
+      List.init 3 (fun v -> q (Printf.sprintf "uq%d" (v + 13)) (keywords v)) ]
+
+(* --- 10 TPC-H queries with multi-instance UDFs --- *)
+
+let tpch_udf_queries catalog =
+  let open Udf_library in
+  let card t = Table.cardinality (Catalog.find catalog t) in
+  let n_part = card "part" and n_supplier = card "supplier" in
+  (* orders x customer joined normally; a combiner over BOTH picks the
+     nation — its statistics cannot exist until o⨝c is materialized. *)
+  let pick_nation name v b =
+    let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+    let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+    let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+    jp b (at b o "o_custkey") (at b c "c_custkey");
+    jp b
+      (term b (combine_mod ~name ~modulus:25) [ (c, "c_nationkey"); (o, "o_orderpriority") ])
+      (at b n "n_nationkey");
+    sel b (at b o "o_orderpriority") (1 + (v mod 5))
+  in
+  (* lineitem x orders; a combiner selects a part. *)
+  let pick_part name v b =
+    let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+    let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+    let p = Query.Builder.rel b ~table:"part" ~alias:"p" in
+    jp b (at b l "l_orderkey") (at b o "o_orderkey");
+    jp b
+      (term b (combine_mod ~name ~modulus:n_part) [ (l, "l_partkey"); (o, "o_orderpriority") ])
+      (at b p "p_partkey");
+    sel b (at b l "l_returnflag") (1 + (v mod 3));
+    sel b (at b p "p_size") (1 + (v * 9))
+  in
+  (* lineitem x supplier; a combiner selects the nation. *)
+  let supp_nation name v b =
+    let l = Query.Builder.rel b ~table:"lineitem" ~alias:"l" in
+    let s = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+    let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+    jp b (at b l "l_suppkey") (at b s "s_suppkey");
+    jp b
+      (term b (combine_mod ~name ~modulus:25) [ (s, "s_nationkey"); (l, "l_quantity") ])
+      (at b n "n_nationkey");
+    sel b (at b l "l_discount") (1 + (v mod 11))
+  in
+  (* customer x nation; a combiner selects the region. *)
+  let cust_region name v b =
+    let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+    let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+    let r = Query.Builder.rel b ~table:"region" ~alias:"r" in
+    jp b (at b c "c_nationkey") (at b n "n_nationkey");
+    jp b
+      (term b (combine_mod ~name ~modulus:5) [ (c, "c_mktsegment"); (n, "n_regionkey") ])
+      (at b r "r_regionkey");
+    sel b (at b c "c_mktsegment") (1 + (v mod 5))
+  in
+  (* 4-way with a supplier-valued combiner over o x c. *)
+  let pick_supplier name v b =
+    let o = Query.Builder.rel b ~table:"orders" ~alias:"o" in
+    let c = Query.Builder.rel b ~table:"customer" ~alias:"c" in
+    let s = Query.Builder.rel b ~table:"supplier" ~alias:"s" in
+    let n = Query.Builder.rel b ~table:"nation" ~alias:"n" in
+    jp b (at b o "o_custkey") (at b c "c_custkey");
+    jp b
+      (term b (combine_mod ~name ~modulus:n_supplier) [ (o, "o_totalprice"); (c, "c_nationkey") ])
+      (at b s "s_suppkey");
+    jp b (at b s "s_nationkey") (at b n "n_nationkey");
+    sel b (at b n "n_name") (1 + (v * 5))
+  in
+  [ q "uq16" (pick_nation "combo_cn_a" 0);
+    q "uq17" (pick_nation "combo_cn_b" 2);
+    q "uq18" (pick_part "combo_lp_a" 0);
+    q "uq19" (pick_part "combo_lp_b" 1);
+    q "uq20" (supp_nation "combo_sn_a" 0);
+    q "uq21" (supp_nation "combo_sn_b" 4);
+    q "uq22" (cust_region "combo_cr_a" 1);
+    q "uq23" (cust_region "combo_cr_b" 3);
+    q "uq24" (pick_supplier "combo_os_a" 0);
+    q "uq25" (pick_supplier "combo_os_b" 2) ]
+
+let queries _cfg catalog = imdb_udf_queries @ tpch_udf_queries catalog
+
+let workload cfg =
+  let catalog = generate cfg in
+  { Workload.name = "UDF";
+    catalog;
+    queries = queries cfg catalog;
+    hand_written = None }

@@ -1,0 +1,26 @@
+(** The UDF benchmark (paper Sec 6.2.2): 25 queries whose join and
+    selection predicates go exclusively through opaque UDFs — 15 IMDB-shaped
+    queries using string-extraction UDFs (the paper translates them from the
+    Join Order Benchmark) and 10 TPC-H-shaped queries built around
+    multi-instance UDFs, whose statistics cannot be collected before a
+    partial join has been materialized.
+
+    The database is the union of the IMDB and TPC-H generators (table names
+    do not collide). Per the paper, the "Postgres" and "On Demand" options
+    are inapplicable here ({!Monsoon_baselines.Strategy.applicable} reports
+    it for the multi-instance queries; the harness drops both strategies for
+    the whole benchmark). *)
+
+open Monsoon_storage
+
+type config = { seed : int; imdb_scale : float; tpch_scale : float }
+
+val default_config : config
+
+val generate : config -> Catalog.t
+
+val queries : config -> Catalog.t -> (string * Monsoon_relalg.Query.t) list
+(** [uq1] … [uq25]. The catalog is needed because the multi-instance
+    combiners' output domains are sized from the generated key spaces. *)
+
+val workload : config -> Workload.t

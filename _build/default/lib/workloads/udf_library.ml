@@ -1,0 +1,48 @@
+open Monsoon_storage
+open Monsoon_relalg
+
+(* Read the decimal run starting right after [prefix] in [s]; Null when the
+   prefix is absent (mirrors how real extraction UDFs fail on malformed
+   rows). *)
+let int_after prefix s =
+  let plen = String.length prefix in
+  let slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = prefix then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Value.Null
+  | Some start ->
+    let stop = ref start in
+    while !stop < slen && s.[!stop] >= '0' && s.[!stop] <= '9' do
+      incr stop
+    done;
+    if !stop = start then Value.Null
+    else Value.Int (int_of_string (String.sub s start (!stop - start)))
+
+let string_extractor name prefix =
+  Udf.make name (function
+    | [| Value.Str s |] -> int_after prefix s
+    | [| Value.Null |] -> Value.Null
+    | _ -> invalid_arg (name ^ ": expected one string"))
+
+let title_id = string_extractor "title_id" "id="
+let title_year = string_extractor "title_year" ";y="
+let movie_ref_id = string_extractor "movie_ref_id" "m:"
+let person_ref_id = string_extractor "person_ref_id" "ref(p"
+let name_id = string_extractor "name_id" "p:"
+let name_gender = string_extractor "name_gender" ";g="
+let company_country = string_extractor "company_country" "("
+
+let as_intish = function
+  | Value.Int i -> i
+  | Value.Date d -> d
+  | v -> invalid_arg ("combine_mod: non-integer input " ^ Value.to_string v)
+
+let combine_mod ~name ~modulus =
+  assert (modulus > 0);
+  Udf.make name (function
+    | [| a; b |] -> Value.Int (((as_intish a + (37 * as_intish b)) mod modulus) + 1)
+    | _ -> invalid_arg (name ^ ": expected two arguments"))

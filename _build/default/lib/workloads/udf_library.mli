@@ -1,0 +1,33 @@
+(** The opaque UDFs used by the UDF benchmark: string extractors in the
+    style of the paper's motivating PySpark example (pulling ids out of
+    text with [x.index(...)]-style code) and multi-instance combiners whose
+    statistics cannot exist before a partial join. All of them are black
+    boxes to the optimizer. *)
+
+open Monsoon_relalg
+
+val title_id : Udf.t
+(** ["id=123;y=1950"] → [Int 123]. *)
+
+val title_year : Udf.t
+(** ["id=123;y=1950"] → [Int 1950]. *)
+
+val movie_ref_id : Udf.t
+(** ["m:123"] → [Int 123]. *)
+
+val person_ref_id : Udf.t
+(** ["ref(p99)"] → [Int 99]. *)
+
+val name_id : Udf.t
+(** ["p:99;g=1"] → [Int 99]. *)
+
+val name_gender : Udf.t
+(** ["p:99;g=1"] → [Int 1]. *)
+
+val company_country : Udf.t
+(** ["Co#5 (07)"] → [Int 7]. *)
+
+val combine_mod : name:string -> modulus:int -> Udf.t
+(** Two int-ish arguments [a, b] → [((a + 37·b) mod modulus) + 1]: the
+    multi-instance combiner family; its output domain matches a key space
+    of size [modulus]. *)

@@ -1,0 +1,11 @@
+open Monsoon_storage
+open Monsoon_relalg
+
+type t = {
+  name : string;
+  catalog : Catalog.t;
+  queries : (string * Query.t) list;
+  hand_written : (string -> Query.t -> Expr.t) option;
+}
+
+let find_query t name = List.assoc name t.queries

@@ -1,0 +1,16 @@
+(** A benchmark: a generated database plus a named query suite. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+
+type t = {
+  name : string;
+  catalog : Catalog.t;
+  queries : (string * Query.t) list;
+  hand_written : (string -> Query.t -> Expr.t) option;
+      (** Expert plans, when the benchmark defines them (OTT). Given the
+          query name and the query, returns the hand-written plan. *)
+}
+
+val find_query : t -> string -> Query.t
+(** Raises [Not_found]. *)

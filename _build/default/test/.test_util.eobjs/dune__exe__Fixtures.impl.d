@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Catalog Cost_model List Monsoon_relalg Monsoon_storage Monsoon_util Predicate Query Rng Schema Table Term Udf Value

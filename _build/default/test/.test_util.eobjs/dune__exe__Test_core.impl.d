@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Driver Expr Fixtures Float List Mdp Monsoon_core Monsoon_mcts Monsoon_relalg Monsoon_stats Monsoon_util Prior QCheck QCheck_alcotest Relset Rng Simulator Stats_catalog

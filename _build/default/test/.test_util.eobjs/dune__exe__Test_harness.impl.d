@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments List Monsoon_baselines Monsoon_harness Monsoon_workloads Printf Report Runner Strategy String Udf_bench

@@ -1,0 +1,1 @@
+test/test_mcts.ml: Alcotest Array Fun List Mcts Monsoon_mcts Monsoon_util Option QCheck QCheck_alcotest Rng

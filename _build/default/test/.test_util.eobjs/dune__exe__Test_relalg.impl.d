@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Cost_model Expr Fixtures List Monsoon_relalg Monsoon_storage QCheck QCheck_alcotest Query Relset Term Udf Value

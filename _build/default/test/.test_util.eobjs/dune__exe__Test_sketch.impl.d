@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Dist Distinct_estimator Hyperloglog List Misra_gries Monsoon_sketch Monsoon_util Printf QCheck QCheck_alcotest Reservoir Rng

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List Monsoon_stats Monsoon_util Prior QCheck QCheck_alcotest Rng Stats_catalog

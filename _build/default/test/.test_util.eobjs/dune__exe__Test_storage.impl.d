@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Hashtbl Int64 List Monsoon_storage QCheck QCheck_alcotest Schema Table Value

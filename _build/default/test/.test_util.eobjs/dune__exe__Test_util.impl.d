@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dist Fun Gen Hashing Hashtbl List Monsoon_util QCheck QCheck_alcotest Rng

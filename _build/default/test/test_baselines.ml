@@ -1,0 +1,331 @@
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_stats
+open Monsoon_baselines
+
+(* --- Stats sources --- *)
+
+let small_catalog rng =
+  Fixtures.sec23_catalog rng ~scale:100 ~d_s:7 ~d_t:50
+
+let test_exact_source () =
+  let rng = Rng.create 1 in
+  let q = Fixtures.sec23_query () in
+  let cat = small_catalog rng in
+  let src = Stats_source.exact cat q in
+  Alcotest.(check bool) "applicable" false src.Stats_source.inapplicable;
+  Alcotest.(check (float 0.0)) "free" 0.0 src.Stats_source.acquisition_cost;
+  (* d(F2, S) should be exactly the number of distinct b values. *)
+  let truth = float_of_int (Table.distinct_exact (Catalog.find cat "S") "b") in
+  let d =
+    src.Stats_source.env.Cost_model.distinct_of ~term:(Query.term q 1)
+      ~pred:(Some 0) ~c_own:100.0 ~c_partner:None
+  in
+  Alcotest.(check (float 0.0)) "exact distinct" truth d
+
+let test_defaults_source () =
+  let rng = Rng.create 2 in
+  let q = Fixtures.sec23_query () in
+  let cat = small_catalog rng in
+  let src = Stats_source.defaults cat q in
+  let d =
+    src.Stats_source.env.Cost_model.distinct_of ~term:(Query.term q 0)
+      ~pred:(Some 0) ~c_own:1000.0 ~c_partner:None
+  in
+  Alcotest.(check (float 0.0)) "10% magic constant" 100.0 d
+
+let test_on_demand_source () =
+  let rng = Rng.create 3 in
+  let q = Fixtures.sec23_query () in
+  let cat = small_catalog rng in
+  let src = Stats_source.on_demand cat q in
+  (* One HLL pass per instance: c(R) + c(S) + c(T). *)
+  let expected =
+    float_of_int
+      (Table.cardinality (Catalog.find cat "R")
+      + Table.cardinality (Catalog.find cat "S")
+      + Table.cardinality (Catalog.find cat "T"))
+  in
+  Alcotest.(check (float 0.0)) "charged one pass per table" expected
+    src.Stats_source.acquisition_cost;
+  let truth = float_of_int (Table.distinct_exact (Catalog.find cat "S") "b") in
+  let d =
+    src.Stats_source.env.Cost_model.distinct_of ~term:(Query.term q 1)
+      ~pred:(Some 0) ~c_own:1e9 ~c_partner:None
+  in
+  Alcotest.(check bool) "HLL close" true (abs_float (d -. truth) /. truth < 0.1)
+
+let test_sampling_source () =
+  let rng = Rng.create 4 in
+  let q = Fixtures.sec23_query () in
+  let cat = small_catalog rng in
+  let src = Stats_source.sampling (Rng.create 5) ~fraction:0.1 ~cap:5000 cat q in
+  Alcotest.(check bool) "charged something" true (src.Stats_source.acquisition_cost > 0.0);
+  let d =
+    src.Stats_source.env.Cost_model.distinct_of ~term:(Query.term q 0)
+      ~pred:(Some 0) ~c_own:1e9 ~c_partner:None
+  in
+  (* d(F1, R) = 10 at scale 100; GEE from a 10% sample should be in the
+     right ballpark. *)
+  Alcotest.(check bool) "GEE sane" true (d >= 5.0 && d <= 100.0)
+
+let test_multi_instance_detection () =
+  let b = Query.Builder.create ~name:"multi" in
+  let r = Query.Builder.rel b ~table:"R" ~alias:"R" in
+  let s = Query.Builder.rel b ~table:"S" ~alias:"S" in
+  let t = Query.Builder.rel b ~table:"T" ~alias:"T" in
+  let combo =
+    Query.Builder.term b
+      (Udf.make "combo" (function
+        | [| Value.Int a; Value.Int b |] -> Value.Int (a + b)
+        | _ -> Value.Null))
+      [ (r, "a"); (s, "b") ]
+  in
+  let ft = Query.Builder.term b (Udf.identity "d") [ (t, "d") ] in
+  Query.Builder.join_pred b combo ft;
+  let q = Query.Builder.build b in
+  Alcotest.(check bool) "detected" true (Stats_source.has_multi_instance_terms q);
+  Alcotest.(check bool) "postgres drops it" false (Strategy.postgres.Strategy.applicable q);
+  Alcotest.(check bool) "on-demand drops it" false (Strategy.on_demand.Strategy.applicable q);
+  Alcotest.(check bool) "sampling keeps it" true (Strategy.sampling.Strategy.applicable q)
+
+(* --- Planner --- *)
+
+let test_dp_picks_optimal_per_table1 () =
+  let q = Fixtures.sec23_query () in
+  let raw = [| 1e6; 1e4; 1e4 |] in
+  let check ~d_s ~d_t ~inner_mask =
+    let env =
+      Fixtures.fixed_env ~raw ~d:(function
+        | 0 | 2 -> 1000.0
+        | 1 -> d_s
+        | 3 -> d_t
+        | _ -> assert false)
+    in
+    let plan = Planner.best_plan q env in
+    match Expr.join_nodes plan with
+    | (a, b) :: _ ->
+      Alcotest.(check int) "optimal first join" inner_mask (Relset.union a b)
+    | [] -> Alcotest.fail "no join nodes"
+  in
+  (* Rows 2 and 3 of Table 1 have unique optima: first join R⨝T resp.
+     R⨝S. *)
+  check ~d_s:1.0 ~d_t:1e4 ~inner_mask:(Relset.of_list [ 0; 2 ]);
+  check ~d_s:1e4 ~d_t:1.0 ~inner_mask:(Relset.of_list [ 0; 1 ])
+
+let test_dp_avoids_cross_product () =
+  let q = Fixtures.sec23_query () in
+  let env =
+    Fixtures.fixed_env ~raw:[| 1e6; 1e4; 1e4 |] ~d:(fun _ -> 1000.0)
+  in
+  let plan = Planner.best_plan q env in
+  (* (S × T) ⨝ R would be the only cross-product shape; it must not be
+     chosen. *)
+  Alcotest.(check bool) "no S-T node" true
+    (List.for_all
+       (fun (a, b) -> Relset.mem 0 (Relset.union a b))
+       (List.tl (Expr.join_nodes plan))
+    || List.length (Expr.join_nodes plan) = 2)
+
+let prop_dp_matches_brute_force =
+  QCheck.Test.make ~name:"DP cost == exhaustive enumeration cost" ~count:60
+    QCheck.(quad (int_range 1 10_000) (int_range 1 10_000) (int_range 1 10_000) (int_range 1 10_000))
+    (fun (d1, d2, d3, d4) ->
+      let q = Fixtures.sec23_query () in
+      let d = [| d1; d2; d3; d4 |] in
+      let env () =
+        Fixtures.fixed_env ~raw:[| 1e5; 3e3; 7e3 |]
+          ~d:(fun i -> float_of_int d.(i))
+      in
+      let dp = Planner.best_plan q (env ()) in
+      let bf = Planner.brute_force_best q (env ()) in
+      let c_dp = Planner.plan_cost q (env ()) dp in
+      let c_bf = Planner.plan_cost q (env ()) bf in
+      abs_float (c_dp -. c_bf) <= 1e-6 *. Float.max 1.0 c_bf)
+
+(* A 5-instance chain query for deeper DP validation. *)
+let chain_query n =
+  let b = Query.Builder.create ~name:"chain" in
+  let rels =
+    List.init n (fun i ->
+        Query.Builder.rel b ~table:(Printf.sprintf "C%d" i)
+          ~alias:(Printf.sprintf "c%d" i))
+  in
+  List.iteri
+    (fun i r ->
+      if i < n - 1 then begin
+        let t1 = Query.Builder.term b (Udf.identity "k") [ (r, "k") ] in
+        let t2 =
+          Query.Builder.term b (Udf.identity "k") [ (List.nth rels (i + 1), "k") ]
+        in
+        Query.Builder.join_pred b t1 t2
+      end)
+    rels;
+  Query.Builder.build b
+
+let prop_dp_chain_matches_brute_force =
+  QCheck.Test.make ~name:"DP == brute force on 4-chains" ~count:25
+    QCheck.(array_of_size (QCheck.Gen.return 6) (int_range 1 5_000))
+    (fun ds ->
+      QCheck.assume (Array.length ds = 6);
+      let q = chain_query 4 in
+      let env () =
+        Fixtures.fixed_env ~raw:[| 2e4; 5e3; 8e4; 1e3 |]
+          ~d:(fun i -> float_of_int ds.(i))
+      in
+      let c_dp = Planner.plan_cost q (env ()) (Planner.best_plan q (env ())) in
+      let c_bf =
+        Planner.plan_cost q (env ()) (Planner.brute_force_best q (env ()))
+      in
+      abs_float (c_dp -. c_bf) <= 1e-6 *. Float.max 1.0 c_bf)
+
+(* --- Greedy --- *)
+
+let test_greedy_smallest_first_connected () =
+  let rng = Rng.create 6 in
+  let q = Fixtures.sec23_query () in
+  let cat = small_catalog rng in
+  (* Sizes: R = 10000, S = T = 100. Greedy starts from S (or T) but must
+     not cross-product S with T; it joins R next. *)
+  let out = Strategy.greedy.Strategy.run ~rng ~budget:1e9 cat q in
+  Alcotest.(check bool) "no timeout" false out.Strategy.timed_out;
+  Alcotest.(check bool) "left-deep via R second" true
+    (out.Strategy.plan = "((S ⨝ R) ⨝ T)" || out.Strategy.plan = "((R ⨝ S) ⨝ T)"
+    || out.Strategy.plan = "((T ⨝ R) ⨝ S)" || out.Strategy.plan = "((R ⨝ T) ⨝ S)")
+
+(* --- End-to-end strategies --- *)
+
+let test_strategies_agree_on_result () =
+  let rng = Rng.create 7 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:500 ~d_s:4 ~d_t:9 in
+  let truth = float_of_int (Fixtures.brute_force_count cat q) in
+  let strategies =
+    [ Strategy.postgres; Strategy.defaults; Strategy.greedy;
+      Strategy.on_demand; Strategy.sampling;
+      Strategy.monsoon ~iterations:300 Prior.spike_and_slab ]
+  in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let out = s.Strategy.run ~rng:(Rng.create 8) ~budget:1e9 cat q in
+      Alcotest.(check bool) (s.Strategy.name ^ " completes") false out.Strategy.timed_out;
+      Alcotest.(check (float 0.0)) (s.Strategy.name ^ " correct") truth
+        out.Strategy.result_card)
+    strategies
+
+let test_skinner_completes_small () =
+  let rng = Rng.create 9 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:500 ~d_s:4 ~d_t:9 in
+  let truth = float_of_int (Fixtures.brute_force_count cat q) in
+  let out = Strategy.skinner.Strategy.run ~rng:(Rng.create 10) ~budget:1e9 cat q in
+  Alcotest.(check bool) "completes" false out.Strategy.timed_out;
+  Alcotest.(check (float 0.0)) "correct" truth out.Strategy.result_card
+
+let test_skinner_pays_for_restarts () =
+  (* Skinner's total processed objects exceed a one-shot good plan's cost
+     whenever it needs several episodes. *)
+  let rng = Rng.create 11 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:100 ~d_s:1 ~d_t:100 in
+  let skinner_out = Strategy.skinner.Strategy.run ~rng:(Rng.create 12) ~budget:1e9 cat q in
+  let pg_out = Strategy.postgres.Strategy.run ~rng:(Rng.create 12) ~budget:1e9 cat q in
+  Alcotest.(check bool) "skinner >= postgres cost" true
+    (skinner_out.Strategy.cost >= pg_out.Strategy.cost)
+
+let test_postgres_beats_bad_defaults_case () =
+  (* d_s = 1 makes R⨝S explode; exact statistics avoid it. Scale 10 keeps
+     the S×T cross product expensive too (cross products shrink
+     quadratically under downscaling, so tiny scales would make them
+     attractive). *)
+  let rng = Rng.create 13 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:10 ~d_s:1 ~d_t:1000 in
+  let pg = Strategy.postgres.Strategy.run ~rng:(Rng.create 14) ~budget:1e9 cat q in
+  (match Expr.join_nodes (Planner.best_plan q (Stats_source.exact cat q).Stats_source.env) with
+  | (a, b) :: _ ->
+    Alcotest.(check int) "first join is R⨝T" (Relset.of_list [ 0; 2 ])
+      (Relset.union a b)
+  | [] -> Alcotest.fail "no joins");
+  Alcotest.(check bool) "completes" false pg.Strategy.timed_out
+
+(* --- Least-expected-cost --- *)
+
+let test_lec_picks_dominant_plan () =
+  (* With a point-mass prior the sampled worlds are deterministic, so LEC
+     must pick the DP-optimal plan for those statistics. *)
+  let q = Fixtures.sec23_query () in
+  let rng = Rng.create 17 in
+  let cat = Fixtures.sec23_catalog rng ~scale:10 ~d_s:1 ~d_t:1000 in
+  let point =
+    Prior.custom ~name:"pt"
+      ~sample:(fun _ ~c_own ~c_partner:_ -> 0.5 *. c_own)
+      ()
+  in
+  let plan = Lec.choose_plan ~k:4 ~k2:8 ~rng:(Rng.create 3) ~prior:point cat q in
+  let env =
+    Fixtures.fixed_env ~raw:[| 1e5; 1e3; 1e3 |]
+      ~d:(fun _ -> 0.0 (* unused: compare shapes only *))
+  in
+  ignore env;
+  Alcotest.(check int) "covers the whole query" 7
+    (Monsoon_relalg.Expr.mask plan)
+
+let test_lec_end_to_end () =
+  let rng = Rng.create 23 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:500 ~d_s:4 ~d_t:9 in
+  let truth = float_of_int (Fixtures.brute_force_count cat q) in
+  let s = Lec.strategy Prior.spike_and_slab in
+  let out = s.Strategy.run ~rng:(Rng.create 24) ~budget:1e9 cat q in
+  Alcotest.(check bool) "completes" false out.Strategy.timed_out;
+  Alcotest.(check (float 0.0)) "correct result" truth out.Strategy.result_card;
+  Alcotest.(check bool) "no stats collected" true (out.Strategy.stats_cost = 0.0)
+
+let test_lec_deterministic_given_seed () =
+  let rng = Rng.create 29 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:500 ~d_s:2 ~d_t:2 in
+  let plan seed =
+    Monsoon_relalg.Expr.key
+      (Lec.choose_plan ~rng:(Rng.create seed) ~prior:Prior.uniform cat q)
+  in
+  Alcotest.(check string) "reproducible" (plan 5) (plan 5)
+
+let test_budget_respected () =
+  let rng = Rng.create 15 in
+  let q = Fixtures.sec23_query () in
+  let cat = Fixtures.sec23_catalog rng ~scale:100 ~d_s:1 ~d_t:1 in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let out = s.Strategy.run ~rng:(Rng.create 16) ~budget:100.0 cat q in
+      Alcotest.(check bool) (s.Strategy.name ^ " times out") true out.Strategy.timed_out)
+    [ Strategy.defaults; Strategy.greedy; Strategy.skinner ]
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [ ( "stats sources",
+        [ Alcotest.test_case "exact" `Quick test_exact_source;
+          Alcotest.test_case "defaults" `Quick test_defaults_source;
+          Alcotest.test_case "on demand" `Quick test_on_demand_source;
+          Alcotest.test_case "sampling" `Quick test_sampling_source;
+          Alcotest.test_case "multi-instance detection" `Quick test_multi_instance_detection ] );
+      ( "planner",
+        [ Alcotest.test_case "optimal per Table 1" `Quick test_dp_picks_optimal_per_table1;
+          Alcotest.test_case "avoids cross products" `Quick test_dp_avoids_cross_product ] );
+      ( "greedy",
+        [ Alcotest.test_case "smallest-first connected" `Quick test_greedy_smallest_first_connected ] );
+      ( "least expected cost",
+        [ Alcotest.test_case "dominant plan" `Quick test_lec_picks_dominant_plan;
+          Alcotest.test_case "end to end" `Quick test_lec_end_to_end;
+          Alcotest.test_case "deterministic" `Quick test_lec_deterministic_given_seed ] );
+      ( "end to end",
+        [ Alcotest.test_case "strategies agree" `Quick test_strategies_agree_on_result;
+          Alcotest.test_case "skinner completes" `Quick test_skinner_completes_small;
+          Alcotest.test_case "skinner restart cost" `Quick test_skinner_pays_for_restarts;
+          Alcotest.test_case "postgres avoids explosion" `Quick test_postgres_beats_bad_defaults_case;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected ] );
+      ( "properties",
+        qc [ prop_dp_matches_brute_force; prop_dp_chain_matches_brute_force ] ) ]

@@ -1,0 +1,276 @@
+open Monsoon_storage
+open Monsoon_relalg
+
+(* --- Relset --- *)
+
+let test_relset_basics () =
+  let s = Relset.of_list [ 0; 2; 5 ] in
+  Alcotest.(check int) "cardinal" 3 (Relset.cardinal s);
+  Alcotest.(check (list int)) "to_list" [ 0; 2; 5 ] (Relset.to_list s);
+  Alcotest.(check bool) "mem" true (Relset.mem 2 s);
+  Alcotest.(check bool) "not mem" false (Relset.mem 1 s);
+  Alcotest.(check int) "min_elt" 0 (Relset.min_elt s)
+
+let test_relset_ops () =
+  let a = Relset.of_list [ 0; 1 ] and b = Relset.of_list [ 1; 2 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2 ] (Relset.to_list (Relset.union a b));
+  Alcotest.(check (list int)) "inter" [ 1 ] (Relset.to_list (Relset.inter a b));
+  Alcotest.(check bool) "subset" true (Relset.subset a (Relset.union a b));
+  Alcotest.(check bool) "not subset" false (Relset.subset b a);
+  Alcotest.(check bool) "disjoint" true (Relset.disjoint (Relset.singleton 0) (Relset.singleton 3))
+
+let test_relset_subsets () =
+  let s = Relset.of_list [ 0; 1; 2 ] in
+  let subs = Relset.subsets_nonempty s in
+  Alcotest.(check int) "7 non-empty subsets" 7 (List.length subs);
+  List.iter (fun sub -> Alcotest.(check bool) "subset" true (Relset.subset sub s)) subs
+
+let prop_relset_union_cardinal =
+  QCheck.Test.make ~name:"inclusion-exclusion" ~count:500
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (a, b) ->
+      Relset.cardinal (Relset.union a b) + Relset.cardinal (Relset.inter a b)
+      = Relset.cardinal a + Relset.cardinal b)
+
+let prop_relset_subsets_count =
+  QCheck.Test.make ~name:"2^n - 1 subsets" ~count:100
+    QCheck.(int_bound 0x3FF)
+    (fun s ->
+      List.length (Relset.subsets_nonempty s)
+      = (1 lsl Relset.cardinal s) - 1)
+
+(* --- Query builder and predicates --- *)
+
+let test_builder_sec23 () =
+  let q = Fixtures.sec23_query () in
+  Alcotest.(check int) "3 instances" 3 (Query.n_rels q);
+  Alcotest.(check int) "2 predicates" 2 (Array.length (Query.preds q));
+  Alcotest.(check int) "4 terms" 4 (Array.length (Query.terms q));
+  Alcotest.(check int) "full mask" 7 (Query.all_mask q)
+
+let test_builder_rejects_overlap () =
+  let b = Query.Builder.create ~name:"bad" in
+  let r = Query.Builder.rel b ~table:"R" ~alias:"R" in
+  let t1 = Query.Builder.term b (Udf.identity "a") [ (r, "a") ] in
+  let t2 = Query.Builder.term b (Udf.identity "b") [ (r, "b") ] in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Query.Builder.join_pred: overlapping sides") (fun () ->
+      Query.Builder.join_pred b t1 t2)
+
+let test_builder_rejects_unknown_rel () =
+  let b = Query.Builder.create ~name:"bad" in
+  let _ = Query.Builder.rel b ~table:"R" ~alias:"R" in
+  Alcotest.check_raises "unknown instance"
+    (Invalid_argument "Query.Builder.term: unknown relation instance")
+    (fun () -> ignore (Query.Builder.term b (Udf.identity "x") [ (3, "x") ]))
+
+let test_connectivity () =
+  let q = Fixtures.sec23_query () in
+  let r = Relset.singleton 0 and s = Relset.singleton 1 and t = Relset.singleton 2 in
+  Alcotest.(check bool) "R-S connected" true (Query.connected q r s);
+  Alcotest.(check bool) "R-T connected" true (Query.connected q r t);
+  Alcotest.(check bool) "S-T not connected" false (Query.connected q s t);
+  Alcotest.(check (list int)) "RS pred" [ 0 ] (Query.connecting q r s);
+  Alcotest.(check (list int)) "RT pred" [ 1 ] (Query.connecting q r t)
+
+let test_newly_evaluable () =
+  let q = Fixtures.sec23_query () in
+  let rs = Relset.of_list [ 0; 1 ] and t = Relset.singleton 2 in
+  Alcotest.(check (list int)) "RS+T reveals pred 1" [ 1 ]
+    (Query.newly_evaluable q ~left:rs ~right:t);
+  (* Joining S with T reveals nothing. *)
+  Alcotest.(check (list int)) "S+T reveals none" []
+    (Query.newly_evaluable q ~left:(Relset.singleton 1) ~right:t)
+
+let test_interesting_terms () =
+  let q = Fixtures.sec23_query () in
+  let terms_on m =
+    List.map (fun tm -> tm.Term.id) (Query.interesting_terms q m)
+  in
+  Alcotest.(check (list int)) "on R" [ 0; 2 ] (terms_on (Relset.singleton 0));
+  Alcotest.(check (list int)) "on S" [ 1 ] (terms_on (Relset.singleton 1));
+  Alcotest.(check (list int)) "on RS" [ 0; 1; 2 ] (terms_on (Relset.of_list [ 0; 1 ]))
+
+(* --- Expr --- *)
+
+let test_expr_canonical_join_order () =
+  let a = Expr.base 0 and b = Expr.base 1 in
+  Alcotest.(check string) "commutative key" (Expr.key (Expr.join a b))
+    (Expr.key (Expr.join b a))
+
+let test_expr_shape_distinguished () =
+  let r = Expr.base 0 and s = Expr.base 1 and t = Expr.base 2 in
+  let left_deep = Expr.join (Expr.join r s) t in
+  let other = Expr.join (Expr.join r t) s in
+  Alcotest.(check bool) "different shapes differ" false
+    (Expr.equal left_deep other);
+  Alcotest.(check int) "same mask" (Expr.mask left_deep) (Expr.mask other)
+
+let test_expr_stats_rules () =
+  let e = Expr.join (Expr.base 0) (Expr.base 1) in
+  let se = Expr.stats e in
+  Alcotest.(check bool) "has stats" true (Expr.has_stats se);
+  Alcotest.(check bool) "strip" true (Expr.equal e (Expr.strip_stats se));
+  Alcotest.check_raises "no double sigma" (Invalid_argument "Expr.stats: already has Σ")
+    (fun () -> ignore (Expr.stats se));
+  Alcotest.check_raises "no join of sigma"
+    (Invalid_argument "Expr.join: cannot join a Σ-topped expression") (fun () ->
+      ignore (Expr.join se (Expr.base 2)))
+
+let test_expr_join_disjoint () =
+  Alcotest.check_raises "overlap" (Invalid_argument "Expr.join: overlapping sides")
+    (fun () -> ignore (Expr.join (Expr.base 0) (Expr.leaf (Relset.of_list [ 0; 1 ]))))
+
+let test_expr_join_nodes () =
+  let r = Expr.base 0 and s = Expr.base 1 and t = Expr.base 2 in
+  let e = Expr.join (Expr.join r s) t in
+  Alcotest.(check int) "two join nodes" 2 (List.length (Expr.join_nodes e));
+  Alcotest.(check (list int)) "leaves" [ 1; 2; 4 ]
+    (List.sort compare (Expr.leaves e))
+
+let test_expr_describe () =
+  let q = Fixtures.sec23_query () in
+  let e = Expr.join (Expr.join (Expr.base 0) (Expr.base 1)) (Expr.base 2) in
+  Alcotest.(check string) "pretty" "((R ⨝ S) ⨝ T)" (Expr.describe q e)
+
+(* --- Cost model: exact reproduction of the paper's Table 1 --- *)
+
+let paper_raw = [| 1e6; 1e4; 1e4 |]
+
+let plan_rs_t = Expr.join (Expr.join (Expr.base 0) (Expr.base 1)) (Expr.base 2)
+let plan_rt_s = Expr.join (Expr.join (Expr.base 0) (Expr.base 2)) (Expr.base 1)
+
+let sec23_env ~d_s ~d_t =
+  Fixtures.fixed_env ~raw:paper_raw ~d:(function
+    | 0 | 2 -> 1000.0 (* F1, F3 over R *)
+    | 1 -> d_s (* F2 over S *)
+    | 3 -> d_t (* F4 over T *)
+    | _ -> assert false)
+
+let check_scenario ~d_s ~d_t ~cost_rs_t ~cost_rt_s =
+  let q = Fixtures.sec23_query () in
+  let env = sec23_env ~d_s ~d_t in
+  Alcotest.(check (float 1.0)) "cost ((R⨝S)⨝T)" cost_rs_t (Cost_model.cost q env plan_rs_t);
+  Alcotest.(check (float 1.0)) "cost ((R⨝T)⨝S)" cost_rt_s (Cost_model.cost q env plan_rt_s)
+
+(* Rows of Table 1: intermediate tuples of the first join under each
+   scenario. *)
+let test_table1_row1 () = check_scenario ~d_s:1. ~d_t:1. ~cost_rs_t:1e7 ~cost_rt_s:1e7
+let test_table1_row2 () = check_scenario ~d_s:1. ~d_t:1e4 ~cost_rs_t:1e7 ~cost_rt_s:1e6
+let test_table1_row3 () = check_scenario ~d_s:1e4 ~d_t:1. ~cost_rs_t:1e6 ~cost_rt_s:1e7
+let test_table1_row4 () = check_scenario ~d_s:1e4 ~d_t:1e4 ~cost_rs_t:1e6 ~cost_rt_s:1e6
+
+let test_estimate_shape_independent () =
+  let q = Fixtures.sec23_query () in
+  let env = sec23_env ~d_s:1.0 ~d_t:1e4 in
+  Alcotest.(check (float 1.0)) "same estimate"
+    (Cost_model.estimate q env plan_rs_t)
+    (Cost_model.estimate q env plan_rt_s)
+
+let test_final_result_not_charged () =
+  (* The root covers all instances, so only the inner join is charged. *)
+  let q = Fixtures.sec23_query () in
+  let env = sec23_env ~d_s:1e4 ~d_t:1e4 in
+  let inner = Expr.join (Expr.base 0) (Expr.base 1) in
+  Alcotest.(check (float 1.0)) "inner charged when root"
+    (Cost_model.estimate q env inner)
+    (Cost_model.cost q env plan_rs_t)
+
+let test_partial_plan_root_charged () =
+  (* A plan that does NOT cover the whole query is charged for its root. *)
+  let q = Fixtures.sec23_query () in
+  let env = sec23_env ~d_s:1e4 ~d_t:1e4 in
+  let inner = Expr.join (Expr.base 0) (Expr.base 1) in
+  Alcotest.(check (float 1.0)) "root charged" 1e6 (Cost_model.cost q env inner)
+
+let test_sigma_cost_is_extra_pass () =
+  let q = Fixtures.sec23_query () in
+  let env = sec23_env ~d_s:1e4 ~d_t:1e4 in
+  (* Σ over the materialized S: one pass over 10^4 objects. *)
+  Alcotest.(check (float 1.0)) "Σ(S)" 1e4 (Cost_model.cost q env (Expr.stats (Expr.base 1)));
+  (* Σ over a planned join: materialize it (charged) plus one extra pass. *)
+  let inner = Expr.join (Expr.base 0) (Expr.base 1) in
+  Alcotest.(check (float 1.0)) "Σ(R⨝S)" 2e6 (Cost_model.cost q env (Expr.stats inner))
+
+let test_count_shortcircuit () =
+  (* A count in S overrides generation (step 1 of Sec 4.3). *)
+  let q = Fixtures.sec23_query () in
+  let rs = Relset.of_list [ 0; 1 ] in
+  let env =
+    { (sec23_env ~d_s:1e4 ~d_t:1e4) with
+      Cost_model.count_of =
+        (fun m -> if Relset.equal m rs then Some 123.0 else None) }
+  in
+  let inner = Expr.join (Expr.base 0) (Expr.base 1) in
+  Alcotest.(check (float 0.01)) "short-circuited" 123.0 (Cost_model.estimate q env inner)
+
+let test_selection_selectivity () =
+  (* One select predicate F(R.a) = const with d = 100 over c(R) = 1e6. *)
+  let b = Query.Builder.create ~name:"sel" in
+  let r = Query.Builder.rel b ~table:"R" ~alias:"R" in
+  let s = Query.Builder.rel b ~table:"S" ~alias:"S" in
+  let fa = Query.Builder.term b (Udf.identity "a") [ (r, "a") ] in
+  let fb = Query.Builder.term b (Udf.identity "b") [ (r, "b") ] in
+  let fc = Query.Builder.term b (Udf.identity "c") [ (s, "c") ] in
+  Query.Builder.select_pred b fa (Value.Int 7);
+  Query.Builder.join_pred b fb fc;
+  let q = Query.Builder.build b in
+  let env =
+    Fixtures.fixed_env ~raw:[| 1e6; 1e4 |] ~d:(function
+      | 0 -> 100.0
+      | 1 | 2 -> 1e4
+      | _ -> assert false)
+  in
+  Alcotest.(check (float 1.0)) "filtered scan" 1e4
+    (Cost_model.estimate q env (Expr.base 0));
+  (* Join size: 1e4 * 1e4 / max(1e4, 1e4) -- d clamped to filtered card. *)
+  let join = Expr.join (Expr.base 0) (Expr.base 1) in
+  Alcotest.(check (float 1.0)) "join of filtered" 1e4
+    (Cost_model.estimate q env join)
+
+let test_clamp_distinct () =
+  Alcotest.(check (float 0.0)) "upper" 10.0 (Cost_model.clamp_distinct ~c_own:10.0 50.0);
+  Alcotest.(check (float 0.0)) "lower" 1.0 (Cost_model.clamp_distinct ~c_own:10.0 0.1);
+  Alcotest.(check (float 0.0)) "tiny own" 1.0 (Cost_model.clamp_distinct ~c_own:0.5 0.2)
+
+let prop_join_selectivity_bounds =
+  QCheck.Test.make ~name:"join selectivity in (0,1]" ~count:500
+    QCheck.(pair (float_range 1.0 1e9) (float_range 1.0 1e9))
+    (fun (d1, d2) ->
+      let s = Cost_model.join_selectivity ~d1 ~d2 in
+      s > 0.0 && s <= 1.0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "relalg"
+    [ ( "relset",
+        [ Alcotest.test_case "basics" `Quick test_relset_basics;
+          Alcotest.test_case "ops" `Quick test_relset_ops;
+          Alcotest.test_case "subsets" `Quick test_relset_subsets ] );
+      ( "query",
+        [ Alcotest.test_case "sec2.3 builder" `Quick test_builder_sec23;
+          Alcotest.test_case "rejects overlap" `Quick test_builder_rejects_overlap;
+          Alcotest.test_case "rejects unknown rel" `Quick test_builder_rejects_unknown_rel;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "newly evaluable" `Quick test_newly_evaluable;
+          Alcotest.test_case "interesting terms" `Quick test_interesting_terms ] );
+      ( "expr",
+        [ Alcotest.test_case "canonical join order" `Quick test_expr_canonical_join_order;
+          Alcotest.test_case "shape distinguished" `Quick test_expr_shape_distinguished;
+          Alcotest.test_case "sigma rules" `Quick test_expr_stats_rules;
+          Alcotest.test_case "join disjointness" `Quick test_expr_join_disjoint;
+          Alcotest.test_case "join nodes" `Quick test_expr_join_nodes;
+          Alcotest.test_case "describe" `Quick test_expr_describe ] );
+      ( "cost model (Table 1)",
+        [ Alcotest.test_case "row 1" `Quick test_table1_row1;
+          Alcotest.test_case "row 2" `Quick test_table1_row2;
+          Alcotest.test_case "row 3" `Quick test_table1_row3;
+          Alcotest.test_case "row 4" `Quick test_table1_row4;
+          Alcotest.test_case "estimate shape-independent" `Quick test_estimate_shape_independent;
+          Alcotest.test_case "final result free" `Quick test_final_result_not_charged;
+          Alcotest.test_case "partial root charged" `Quick test_partial_plan_root_charged;
+          Alcotest.test_case "sigma extra pass" `Quick test_sigma_cost_is_extra_pass;
+          Alcotest.test_case "count short-circuit" `Quick test_count_shortcircuit;
+          Alcotest.test_case "selection selectivity" `Quick test_selection_selectivity;
+          Alcotest.test_case "clamp" `Quick test_clamp_distinct ] );
+      ("properties", qc [ prop_relset_union_cardinal; prop_relset_subsets_count; prop_join_selectivity_bounds ]) ]

@@ -1,0 +1,203 @@
+open Monsoon_util
+open Monsoon_sketch
+
+(* --- HyperLogLog --- *)
+
+let hll_relative_error ~p ~n =
+  let hll = Hyperloglog.create ~p () in
+  for i = 1 to n do
+    Hyperloglog.add_int hll i
+  done;
+  abs_float (Hyperloglog.count hll -. float_of_int n) /. float_of_int n
+
+let test_hll_small_exactish () =
+  (* Linear-counting regime: small cardinalities are near-exact. *)
+  let err = hll_relative_error ~p:12 ~n:100 in
+  Alcotest.(check bool) "error < 2%" true (err < 0.02)
+
+let test_hll_medium () =
+  let err = hll_relative_error ~p:12 ~n:50_000 in
+  Alcotest.(check bool) "error < 5%" true (err < 0.05)
+
+let test_hll_large () =
+  let err = hll_relative_error ~p:14 ~n:1_000_000 in
+  Alcotest.(check bool) "error < 3%" true (err < 0.03)
+
+let test_hll_duplicates_ignored () =
+  let hll = Hyperloglog.create ~p:12 () in
+  for _ = 1 to 50 do
+    for i = 1 to 500 do
+      Hyperloglog.add_string hll (string_of_int i)
+    done
+  done;
+  let c = Hyperloglog.count hll in
+  Alcotest.(check bool) "counts distincts" true (abs_float (c -. 500.0) < 25.0)
+
+let test_hll_empty () =
+  let hll = Hyperloglog.create () in
+  Alcotest.(check (float 0.001)) "empty is zero" 0.0 (Hyperloglog.count hll)
+
+let test_hll_merge () =
+  let a = Hyperloglog.create ~p:12 () and b = Hyperloglog.create ~p:12 () in
+  for i = 1 to 1000 do
+    Hyperloglog.add_int a i
+  done;
+  for i = 501 to 1500 do
+    Hyperloglog.add_int b i
+  done;
+  let m = Hyperloglog.merge a b in
+  let c = Hyperloglog.count m in
+  Alcotest.(check bool) "union ~1500" true (abs_float (c -. 1500.0) < 75.0)
+
+let test_hll_clear () =
+  let hll = Hyperloglog.create ~p:12 () in
+  for i = 1 to 1000 do
+    Hyperloglog.add_int hll i
+  done;
+  Hyperloglog.clear hll;
+  Alcotest.(check (float 0.001)) "cleared" 0.0 (Hyperloglog.count hll)
+
+let prop_hll_error_bound =
+  (* 1.04/sqrt(m) standard error; allow 6 sigma. *)
+  QCheck.Test.make ~name:"hll relative error bounded" ~count:20
+    QCheck.(int_range 100 200_000)
+    (fun n ->
+      let err = hll_relative_error ~p:12 ~n in
+      err < 6.0 *. (1.04 /. sqrt 4096.0))
+
+(* --- Reservoir --- *)
+
+let test_reservoir_under_capacity () =
+  let rng = Rng.create 1 in
+  let r = Reservoir.create rng ~capacity:10 in
+  List.iter (Reservoir.add r) [ 1; 2; 3 ];
+  Alcotest.(check int) "seen" 3 (Reservoir.seen r);
+  Alcotest.(check int) "sample size" 3 (Array.length (Reservoir.sample r))
+
+let test_reservoir_at_capacity () =
+  let rng = Rng.create 2 in
+  let r = Reservoir.create rng ~capacity:100 in
+  for i = 1 to 10_000 do
+    Reservoir.add r i
+  done;
+  Alcotest.(check int) "sample capped" 100 (Array.length (Reservoir.sample r));
+  Alcotest.(check int) "seen all" 10_000 (Reservoir.seen r)
+
+let test_reservoir_uniformity () =
+  (* Each item should appear with probability capacity/n; check the mean of
+     sampled values is near the population mean. *)
+  let rng = Rng.create 3 in
+  let means = ref [] in
+  for _ = 1 to 200 do
+    let r = Reservoir.create rng ~capacity:50 in
+    for i = 1 to 1000 do
+      Reservoir.add r i
+    done;
+    let s = Reservoir.sample r in
+    means :=
+      (Array.fold_left (fun acc v -> acc +. float_of_int v) 0.0 s
+      /. float_of_int (Array.length s))
+      :: !means
+  done;
+  let grand = Dist.mean (Array.of_list !means) in
+  Alcotest.(check bool) "mean near 500.5" true (abs_float (grand -. 500.5) < 15.0)
+
+(* --- GEE distinct estimator --- *)
+
+let test_gee_exact_when_full () =
+  (* Sample = population: estimator ~ true distinct count. *)
+  let sample = Array.init 1000 (fun i -> string_of_int (i mod 100)) in
+  let est = Distinct_estimator.gee ~population:1000 sample in
+  Alcotest.(check bool) "close to 100" true (abs_float (est -. 100.0) < 10.0)
+
+let test_gee_all_unique_sample () =
+  (* All-singleton sample from a big population: estimate sqrt(n/r)*r =
+     sqrt(n*r). *)
+  let sample = Array.init 100 string_of_int in
+  let est = Distinct_estimator.gee ~population:10_000 sample in
+  Alcotest.(check (float 1.0)) "sqrt(n*r)" (sqrt (10_000.0 *. 100.0)) est
+
+let test_gee_monotone_bounds () =
+  let sample = Array.init 50 (fun i -> string_of_int (i mod 10)) in
+  let est = Distinct_estimator.gee ~population:500 sample in
+  Alcotest.(check bool) "at least seen distincts" true (est >= 10.0);
+  Alcotest.(check bool) "at most population" true (est <= 500.0)
+
+let test_gee_empty () =
+  Alcotest.(check (float 0.001)) "empty" 0.0
+    (Distinct_estimator.gee ~population:100 [||])
+
+let test_exact_distinct () =
+  Alcotest.(check int) "exact" 3
+    (Distinct_estimator.exact [| "a"; "b"; "a"; "c"; "b" |])
+
+let prop_gee_bounds =
+  QCheck.Test.make ~name:"gee within [seen, population]" ~count:200
+    QCheck.(pair (int_range 1 200) (int_range 1 50))
+    (fun (n_sample, n_vals) ->
+      let rng = Rng.create (n_sample * 31 + n_vals) in
+      let sample =
+        Array.init n_sample (fun _ -> string_of_int (Rng.int rng n_vals))
+      in
+      let population = n_sample * 10 in
+      let est = Distinct_estimator.gee ~population sample in
+      let seen = float_of_int (Distinct_estimator.exact sample) in
+      est >= seen && est <= float_of_int population)
+
+(* --- Misra–Gries --- *)
+
+let test_mg_finds_heavy_hitter () =
+  let mg = Misra_gries.create ~k:10 in
+  (* 5000 copies of "hot", 5000 spread over 1000 cold values. *)
+  let rng = Rng.create 4 in
+  for _ = 1 to 5000 do
+    Misra_gries.add mg "hot"
+  done;
+  for _ = 1 to 5000 do
+    Misra_gries.add mg (Printf.sprintf "cold%d" (Rng.int rng 1000))
+  done;
+  let hh = Misra_gries.heavy_hitters mg in
+  Alcotest.(check bool) "hot is first" true
+    (match hh with (v, _) :: _ -> v = "hot" | [] -> false)
+
+let test_mg_undercount_bound () =
+  let mg = Misra_gries.create ~k:10 in
+  for _ = 1 to 1000 do
+    Misra_gries.add mg "x"
+  done;
+  for i = 1 to 500 do
+    Misra_gries.add mg (string_of_int i)
+  done;
+  let count = List.assoc_opt "x" (Misra_gries.heavy_hitters mg) in
+  (match count with
+  | Some c ->
+    (* Undercount bounded by n/k = 150. *)
+    Alcotest.(check bool) "within bound" true (c >= 1000 - 150 && c <= 1000)
+  | None -> Alcotest.fail "x evicted despite frequency > n/k");
+  Alcotest.(check int) "processed" 1500 (Misra_gries.processed mg)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sketch"
+    [ ( "hyperloglog",
+        [ Alcotest.test_case "small" `Quick test_hll_small_exactish;
+          Alcotest.test_case "medium" `Quick test_hll_medium;
+          Alcotest.test_case "large" `Slow test_hll_large;
+          Alcotest.test_case "duplicates" `Quick test_hll_duplicates_ignored;
+          Alcotest.test_case "empty" `Quick test_hll_empty;
+          Alcotest.test_case "merge" `Quick test_hll_merge;
+          Alcotest.test_case "clear" `Quick test_hll_clear ] );
+      ( "reservoir",
+        [ Alcotest.test_case "under capacity" `Quick test_reservoir_under_capacity;
+          Alcotest.test_case "at capacity" `Quick test_reservoir_at_capacity;
+          Alcotest.test_case "uniformity" `Quick test_reservoir_uniformity ] );
+      ( "distinct estimator",
+        [ Alcotest.test_case "full sample" `Quick test_gee_exact_when_full;
+          Alcotest.test_case "all unique" `Quick test_gee_all_unique_sample;
+          Alcotest.test_case "bounds" `Quick test_gee_monotone_bounds;
+          Alcotest.test_case "empty" `Quick test_gee_empty;
+          Alcotest.test_case "exact" `Quick test_exact_distinct ] );
+      ( "misra-gries",
+        [ Alcotest.test_case "heavy hitter" `Quick test_mg_finds_heavy_hitter;
+          Alcotest.test_case "undercount bound" `Quick test_mg_undercount_bound ] );
+      ("properties", qc [ prop_hll_error_bound; prop_gee_bounds ]) ]

@@ -1,0 +1,143 @@
+open Monsoon_storage
+
+(* --- Value --- *)
+
+let test_value_equal () =
+  Alcotest.(check bool) "ints" true (Value.equal (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "cross-type" false (Value.equal (Value.Int 3) (Value.Str "3"));
+  Alcotest.(check bool) "nulls" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "dates" false (Value.equal (Value.Date 1) (Value.Date 2))
+
+let test_value_hash_consistent () =
+  Alcotest.(check int64) "same" (Value.hash (Value.Str "x")) (Value.hash (Value.Str "x"));
+  Alcotest.(check bool) "int/str differ" true
+    (Value.hash (Value.Int 3) <> Value.hash (Value.Str "3"))
+
+let test_value_hash_spread () =
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen (Value.hash (Value.Int i)) ()
+  done;
+  Alcotest.(check int) "1000 distinct hashes" 1000 (Hashtbl.length seen)
+
+let test_value_accessors () =
+  Alcotest.(check int) "as_int" 5 (Value.as_int (Value.Int 5));
+  Alcotest.(check (float 0.0)) "as_float coerces int" 5.0 (Value.as_float (Value.Int 5));
+  Alcotest.(check string) "as_string" "hi" (Value.as_string (Value.Str "hi"));
+  Alcotest.check_raises "type error" (Invalid_argument "Value: expected int, got hi")
+    (fun () -> ignore (Value.as_int (Value.Str "hi")))
+
+let test_value_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42))
+
+(* --- Schema --- *)
+
+let sample_schema () =
+  Schema.make
+    [ { Schema.name = "a"; ty = Value.TInt };
+      { Schema.name = "b"; ty = Value.TStr } ]
+
+let test_schema_index () =
+  let s = sample_schema () in
+  Alcotest.(check int) "a at 0" 0 (Schema.index_of s "a");
+  Alcotest.(check int) "b at 1" 1 (Schema.index_of s "b");
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  Alcotest.(check bool) "mem" true (Schema.mem s "a");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "z")
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate column a") (fun () ->
+      ignore
+        (Schema.make
+           [ { Schema.name = "a"; ty = Value.TInt };
+             { Schema.name = "a"; ty = Value.TStr } ]))
+
+(* --- Table --- *)
+
+let sample_table () =
+  let s = sample_schema () in
+  Table.of_rows ~name:"t" s
+    [ [| Value.Int 1; Value.Str "x" |];
+      [| Value.Int 2; Value.Str "y" |];
+      [| Value.Int 1; Value.Str "x" |] ]
+
+let test_table_basics () =
+  let t = sample_table () in
+  Alcotest.(check int) "cardinality" 3 (Table.cardinality t);
+  Alcotest.(check string) "name" "t" (Table.name t);
+  Alcotest.(check int) "get" 2 (Value.as_int (Table.get t 1).(0))
+
+let test_table_append_grows () =
+  let t = Table.create ~name:"g" (sample_schema ()) in
+  for i = 1 to 100 do
+    Table.append t [| Value.Int i; Value.Str "s" |]
+  done;
+  Alcotest.(check int) "appended" 100 (Table.cardinality t);
+  Alcotest.(check int) "rows view length" 100 (Array.length (Table.rows t));
+  Alcotest.(check int) "last row" 100 (Value.as_int (Table.get t 99).(0))
+
+let test_table_column_values () =
+  let t = sample_table () in
+  let vals = Table.column_values t "a" in
+  Alcotest.(check int) "len" 3 (Array.length vals);
+  Alcotest.(check int) "first" 1 (Value.as_int vals.(0))
+
+let test_table_distinct_exact () =
+  let t = sample_table () in
+  Alcotest.(check int) "distinct a" 2 (Table.distinct_exact t "a");
+  Alcotest.(check int) "distinct b" 2 (Table.distinct_exact t "b")
+
+let test_table_fold_iter () =
+  let t = sample_table () in
+  let sum = Table.fold (fun acc row -> acc + Value.as_int row.(0)) 0 t in
+  Alcotest.(check int) "fold sum" 4 sum;
+  let n = ref 0 in
+  Table.iter (fun _ -> incr n) t;
+  Alcotest.(check int) "iter count" 3 !n
+
+(* --- Catalog --- *)
+
+let test_catalog () =
+  let c = Catalog.create () in
+  Catalog.add c (sample_table ());
+  Alcotest.(check bool) "mem" true (Catalog.mem c "t");
+  Alcotest.(check int) "find cardinality" 3 (Table.cardinality (Catalog.find c "t"));
+  Alcotest.(check int) "total rows" 3 (Catalog.total_rows c);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Catalog.add: duplicate table t")
+    (fun () -> Catalog.add c (sample_table ()))
+
+let prop_value_hash_equal_consistent =
+  let value_gen =
+    QCheck.Gen.(
+      oneof
+        [ map (fun i -> Value.Int i) small_int;
+          map (fun s -> Value.Str s) (string_size (int_range 0 8));
+          map (fun f -> Value.Float f) (float_bound_inclusive 100.0);
+          return Value.Null ])
+  in
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+    (QCheck.make value_gen)
+    (fun v -> Int64.equal (Value.hash v) (Value.hash v))
+
+let () =
+  Alcotest.run "storage"
+    [ ( "value",
+        [ Alcotest.test_case "equal" `Quick test_value_equal;
+          Alcotest.test_case "hash consistent" `Quick test_value_hash_consistent;
+          Alcotest.test_case "hash spread" `Quick test_value_hash_spread;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "to_string" `Quick test_value_to_string ] );
+      ( "schema",
+        [ Alcotest.test_case "index" `Quick test_schema_index;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate_rejected ] );
+      ( "table",
+        [ Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "append grows" `Quick test_table_append_grows;
+          Alcotest.test_case "column values" `Quick test_table_column_values;
+          Alcotest.test_case "distinct exact" `Quick test_table_distinct_exact;
+          Alcotest.test_case "fold/iter" `Quick test_table_fold_iter ] );
+      ("catalog", [ Alcotest.test_case "basics" `Quick test_catalog ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_value_hash_equal_consistent ] ) ]
