@@ -16,6 +16,7 @@ open Monsoon_core
 open Monsoon_baselines
 open Monsoon_workloads
 open Monsoon_harness
+open Monsoon_telemetry
 
 (* --- Shared fixtures for the micro-kernels (built once) --- *)
 
@@ -136,7 +137,40 @@ let tests =
         (Staged.stage (fun () ->
              ignore
                (Monsoon_mcts.Mcts.plan mcts_cfg (Simulator.problem sec23_sim)
-                  (Mdp.init_state sec23_ctx)))) ]
+                  (Mdp.init_state sec23_ctx))));
+      (* Telemetry overhead: the same executor kernel as table6, with spans
+         actually retained — against the Null-sink default above. *)
+      Test.make ~name:"table6/ott-expert-plan-execution-traced"
+        (Staged.stage (fun () ->
+             let tel = Ctx.create ~sink:(Span.Memory (Span.memory_buffer ())) () in
+             let exec =
+               Monsoon_exec.Executor.create ~telemetry:tel
+                 small_ott.Workload.catalog (snd ott_pair)
+                 (Monsoon_exec.Executor.budget 1e7)
+             in
+             ignore (Monsoon_exec.Executor.execute exec ott_plan)));
+      (* Telemetry primitives in isolation. *)
+      Test.make ~name:"telemetry/null-with-span-x100"
+        (Staged.stage
+           (let tel = Ctx.null () in
+            fun () ->
+              for _ = 1 to 100 do
+                Ctx.with_span tel "bench" (fun _ -> ())
+              done));
+      Test.make ~name:"telemetry/memory-with-span-x100"
+        (Staged.stage (fun () ->
+             let tr = Span.make (Span.Memory (Span.memory_buffer ())) in
+             for _ = 1 to 100 do
+               Span.with_span tr "bench" (fun _ -> ())
+             done));
+      Test.make ~name:"telemetry/counter-add-x100"
+        (Staged.stage
+           (let reg = Registry.create () in
+            let c = Registry.counter reg "bench.counter" in
+            fun () ->
+              for _ = 1 to 100 do
+                Metric.Counter.add c 1.0
+              done)) ]
 
 let run_microbenchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in

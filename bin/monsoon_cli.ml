@@ -1,51 +1,165 @@
-(* Command-line front end: list and run the paper's experiments, or run a
-   single strategy against a single query for exploration. *)
+(* Command-line front end: list and run the paper's experiments, or profile
+   one under telemetry. *)
 
 open Cmdliner
 open Monsoon_harness
+open Monsoon_telemetry
 
 let profile_of_flag quick_flag =
   if quick_flag then Experiments.quick else Experiments.full
+
+let find_experiment id =
+  List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all
+
+let unknown_experiment id =
+  Error (Printf.sprintf "unknown experiment %s (try `list')" id)
+
+(* Builds the telemetry context the run executes under: an optional JSONL
+   file sink plus, when [keep] is set, an in-memory buffer for the
+   in-process report. Neither requested: the zero-cost Null sink. *)
+let with_telemetry ~trace ~keep f =
+  let opened =
+    match trace with
+    | None -> Ok None
+    | Some "" -> Error "--trace requires a non-empty FILE"
+    | Some path -> (
+      try Ok (Some (open_out path))
+      with Sys_error msg -> Error (Printf.sprintf "cannot open trace file: %s" msg))
+  in
+  match opened with
+  | Error _ as e -> e
+  | Ok oc ->
+    let buf = if keep then Some (Span.memory_buffer ()) else None in
+    let sinks =
+      (match buf with Some b -> [ Span.Memory b ] | None -> [])
+      @ match oc with Some oc -> [ Span.Jsonl oc ] | None -> []
+    in
+    let sink =
+      match sinks with [] -> Span.Null | [ s ] -> s | ss -> Span.Multi ss
+    in
+    let tel = Ctx.create ~sink () in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out oc)
+      (fun () -> f tel buf);
+    Ok ()
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the quick (smoke-test) profile.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write completed telemetry spans to $(docv) as JSONL, one span per \
+           line, for offline analysis.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the telemetry metrics snapshot after the run.")
+
+let metrics_report tel =
+  Snapshot.metrics_table ~title:"Telemetry metrics" tel.Ctx.registry
 
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
     List.iter
       (fun (id, descr, _) -> Printf.printf "%-20s %s\n" id descr)
-      Experiments.all
+      Experiments.all;
+    Ok ()
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
-
-let quick_flag =
-  Arg.(value & flag & info [ "quick" ] ~doc:"Use the quick (smoke-test) profile.")
 
 let experiment_cmd =
   let doc = "Run one experiment (see `list')." in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run quick id =
-    match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
-    | None ->
-      Printf.eprintf "unknown experiment %s (try `list')\n" id;
-      exit 1
+  let run quick trace metrics id =
+    match find_experiment id with
+    | None -> unknown_experiment id
     | Some (_, _, f) ->
-      let profile = profile_of_flag quick in
-      print_string (f profile);
-      print_newline ()
+      with_telemetry ~trace ~keep:false (fun tel _ ->
+          let profile =
+            { (profile_of_flag quick) with Experiments.telemetry = tel }
+          in
+          print_string (f profile);
+          print_newline ();
+          if metrics then print_string (metrics_report tel))
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ quick_flag $ id_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ quick_flag $ trace_arg $ metrics_arg $ id_arg)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run quick =
-    let profile = profile_of_flag quick in
-    List.iter
-      (fun (id, _, f) ->
-        Printf.printf "=== %s ===\n%s\n%!" id (f profile))
-      Experiments.all
+  let run quick trace metrics =
+    with_telemetry ~trace ~keep:false (fun tel _ ->
+        let profile =
+          { (profile_of_flag quick) with Experiments.telemetry = tel }
+        in
+        List.iter
+          (fun (id, _, f) -> Printf.printf "=== %s ===\n%s\n%!" id (f profile))
+          Experiments.all;
+        if metrics then print_string (metrics_report tel))
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ quick_flag $ trace_arg $ metrics_arg)
+
+(* `profile table8-quick' is shorthand for `profile --quick table8'. *)
+let split_profile_suffix id =
+  let strip suffix =
+    if
+      String.length id > String.length suffix
+      && String.ends_with ~suffix id
+    then Some (String.sub id 0 (String.length id - String.length suffix))
+    else None
+  in
+  match strip "-quick" with
+  | Some base -> (base, Some Experiments.quick)
+  | None -> (
+    match strip "-full" with
+    | Some base -> (base, Some Experiments.full)
+    | None -> (id, None))
+
+let profile_cmd =
+  let doc =
+    "Run one experiment under telemetry and print its profiling report: the \
+     span-derived component breakdown plus the metrics registry snapshot. \
+     EXPERIMENT may carry a -quick/-full suffix (e.g. table8-quick)."
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let run quick trace id =
+    let base, forced = split_profile_suffix id in
+    match find_experiment base with
+    | None -> unknown_experiment base
+    | Some (_, _, f) ->
+      with_telemetry ~trace ~keep:true (fun tel buf ->
+          let p =
+            match forced with Some p -> p | None -> profile_of_flag quick
+          in
+          let profile = { p with Experiments.telemetry = tel } in
+          print_string (f profile);
+          print_newline ();
+          let spans = Span.buffer_spans (Option.get buf) in
+          print_string
+            (Snapshot.breakdown_table
+               ~title:"Component breakdown (derived from spans)" spans);
+          print_newline ();
+          print_string (metrics_report tel);
+          Option.iter
+            (fun file ->
+              Printf.printf "\n%d spans written to %s\n" (List.length spans)
+                file)
+            trace)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ quick_flag $ trace_arg $ id_arg)
 
 let demo_cmd =
   let doc =
@@ -55,12 +169,21 @@ let demo_cmd =
   let run () =
     print_string (Experiments.table1 ());
     print_newline ();
-    print_string (Experiments.figure1 ())
+    print_string (Experiments.figure1 ());
+    Ok ()
   in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
 
 let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
-  Cmd.group (Cmd.info "monsoon" ~doc) [ list_cmd; experiment_cmd; all_cmd; demo_cmd ]
+  Cmd.group (Cmd.info "monsoon" ~doc)
+    [ list_cmd; experiment_cmd; all_cmd; profile_cmd; demo_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok (Error msg)) ->
+    Printf.eprintf "monsoon: %s\n" msg;
+    exit 1
+  | Ok (`Ok (Ok ())) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit Cmd.Exit.cli_error
+  | Error `Exn -> exit Cmd.Exit.internal_error

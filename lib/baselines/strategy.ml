@@ -16,16 +16,18 @@ type outcome = {
 type t = {
   name : string;
   applicable : Query.t -> bool;
-  run : rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
+  run :
+    ?telemetry:Monsoon_telemetry.Ctx.t ->
+    rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
 }
 
 let always_applicable _ = true
 
 (* Execute a chosen plan, charging [stats_cost] up front against the
    budget. *)
-let execute_plan ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
+let execute_plan ?telemetry ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
   let bud = Executor.budget (budget -. stats_cost) in
-  let exec = Executor.create catalog q bud in
+  let exec = Executor.create ?telemetry catalog q bud in
   match Executor.execute exec plan with
   | exception Executor.Timeout ->
     { cost = budget;
@@ -54,13 +56,13 @@ let classical name ~applicable source =
   { name;
     applicable;
     run =
-      (fun ~rng ~budget catalog q ->
+      (fun ?telemetry ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let (src : Stats_source.t), src_time =
           Timer.time (fun () -> source rng catalog q)
         in
         let plan, dp_time = Timer.time (fun () -> Planner.best_plan q src.Stats_source.env) in
-        execute_plan ~t0 ~plan_time:(src_time +. dp_time)
+        execute_plan ?telemetry ~t0 ~plan_time:(src_time +. dp_time)
           ~stats_cost:src.Stats_source.acquisition_cost ~budget catalog q plan) }
 
 let postgres =
@@ -116,16 +118,17 @@ let greedy =
   { name = "Greedy";
     applicable = always_applicable;
     run =
-      (fun ~rng:_ ~budget catalog q ->
+      (fun ?telemetry ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
         let plan, plan_time = Timer.time (fun () -> greedy_plan catalog q) in
-        execute_plan ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q plan) }
+        execute_plan ?telemetry ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q
+          plan) }
 
 let skinner =
   { name = "SkinnerDB";
     applicable = always_applicable;
     run =
-      (fun ~rng ~budget catalog q ->
+      (fun ?telemetry:_ ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let out = Skinner.run (Skinner.default_config ~rng) ~budget catalog q in
         { cost = out.Skinner.cost;
@@ -141,7 +144,7 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
   { name = "Monsoon";
     applicable = always_applicable;
     run =
-      (fun ~rng ~budget catalog q ->
+      (fun ?telemetry ~rng ~budget catalog q ->
         (* MCTS effort scales with the size of the join-order problem: the
            action space roughly squares with the instance count. *)
         let iterations =
@@ -164,7 +167,7 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
             max_steps = 200;
             verbose = false }
         in
-        let out = Monsoon_core.Driver.run config catalog q in
+        let out = Monsoon_core.Driver.run ?telemetry config catalog q in
         { cost = out.Monsoon_core.Driver.cost;
           timed_out = out.Monsoon_core.Driver.timed_out;
           wall = out.Monsoon_core.Driver.wall;
@@ -177,10 +180,10 @@ let fixed_plan ~name plan_of =
   { name;
     applicable = always_applicable;
     run =
-      (fun ~rng:_ ~budget catalog q ->
+      (fun ?telemetry ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
-        execute_plan ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget catalog q
-          (plan_of q)) }
+        execute_plan ?telemetry ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget
+          catalog q (plan_of q)) }
 
 let standard_seven prior =
   [ postgres; defaults; greedy; monsoon prior; on_demand; sampling; skinner ]

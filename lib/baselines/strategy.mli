@@ -21,7 +21,12 @@ type t = {
   applicable : Query.t -> bool;
       (** the paper drops some options on some benchmarks (e.g. On-Demand
           with multi-instance UDFs) *)
-  run : rng:Monsoon_util.Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
+  run :
+    ?telemetry:Monsoon_telemetry.Ctx.t ->
+    rng:Monsoon_util.Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
+      (** [?telemetry] threads a metric/span context into the executor (and,
+          for Monsoon, the driver and MCTS); omitting it keeps the strategy
+          silent. *)
 }
 
 val postgres : t
@@ -50,6 +55,7 @@ val fixed_plan : name:string -> (Query.t -> Expr.t) -> t
     plans). *)
 
 val execute_plan :
+  ?telemetry:Monsoon_telemetry.Ctx.t ->
   t0:float ->
   plan_time:float ->
   stats_cost:float ->

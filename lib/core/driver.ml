@@ -2,6 +2,7 @@ open Monsoon_util
 open Monsoon_relalg
 open Monsoon_stats
 open Monsoon_exec
+open Monsoon_telemetry
 
 type config = {
   prior : Prior.t;
@@ -47,14 +48,28 @@ let absorb_observations stats (obs : Executor.stat_obs) =
       Stats_catalog.set_distinct stats ~term:tm ~scope:Stats_catalog.Wildcard d)
     obs.Executor.obs_distincts
 
-let run config catalog query =
+let run ?telemetry config catalog query =
+  let tel = match telemetry with Some t -> t | None -> Ctx.null () in
+  (* The Table-8 component breakdown is derived from the shared telemetry
+     registry rather than private accumulators. Counters persist across
+     queries on a shared context, so each run reads deltas against the
+     values captured here. *)
+  let c_mcts = Ctx.counter tel "driver.mcts_seconds" in
+  let c_replans = Ctx.counter tel "driver.replans" in
+  let c_executes = Ctx.counter tel "driver.executes" in
+  let c_sigma = Ctx.counter tel "exec.sigma_objects" in
+  let base_mcts = Metric.Counter.value c_mcts in
+  let base_executes = Metric.Counter.value c_executes in
+  let base_sigma = Metric.Counter.value c_sigma in
+  Ctx.with_span tel "driver.run"
+    ~attrs:[ ("query", Span.Str (Query.name query)) ]
+  @@ fun run_span ->
   let t0 = Timer.now () in
   let ctx = Mdp.make_ctx catalog query in
-  let exec = Executor.create catalog query (Executor.budget config.budget) in
-  let mcts_timer = Timer.accum () in
+  let exec =
+    Executor.create ~telemetry:tel catalog query (Executor.budget config.budget)
+  in
   let total_cost = ref 0.0 in
-  let stats_cost = ref 0.0 in
-  let executes = ref 0 in
   let trace = ref [] in
   let finish ~timed_out state =
     let result_card =
@@ -65,13 +80,20 @@ let run config catalog query =
         | None -> 0.0
     in
     ignore state;
+    let stats_cost = Metric.Counter.value c_sigma -. base_sigma in
+    let executes =
+      int_of_float (Metric.Counter.value c_executes -. base_executes)
+    in
+    Span.set_attr run_span "timed_out" (Span.Bool timed_out);
+    Span.set_attr run_span "cost" (Span.Float !total_cost);
+    Span.set_attr run_span "executes" (Span.Int executes);
     { cost = !total_cost;
       timed_out;
       wall = Timer.now () -. t0;
-      mcts_time = Timer.total mcts_timer;
-      stats_cost = !stats_cost;
-      exec_cost = !total_cost -. !stats_cost;
-      executes = !executes;
+      mcts_time = Metric.Counter.value c_mcts -. base_mcts;
+      stats_cost;
+      exec_cost = !total_cost -. stats_cost;
+      executes;
       actions = List.rev !trace;
       result_card }
   in
@@ -98,10 +120,12 @@ let run config catalog query =
         finish ~timed_out:true state
       end
       else begin
-        let planned =
-          Timer.add_to mcts_timer (fun () ->
-              Monsoon_mcts.Mcts.plan config.mcts problem state)
+        let planned, mcts_dt =
+          Timer.time (fun () ->
+              Monsoon_mcts.Mcts.plan ~telemetry:tel config.mcts problem state)
         in
+        Metric.Counter.add c_mcts mcts_dt;
+        Metric.Counter.inc c_replans;
         match planned with
         | None -> finish ~timed_out:false state
         | Some (action, _stats) ->
@@ -111,13 +135,15 @@ let run config catalog query =
                 m "query %s: %s" (Query.name query) (Mdp.describe_action ctx action));
           (match action with
           | Mdp.Execute -> (
-            incr executes;
+            Metric.Counter.inc c_executes;
             match
+              Ctx.with_span tel "driver.execute"
+                ~attrs:[ ("step", Span.Int steps) ]
+              @@ fun _ ->
               List.fold_left
                 (fun acc e ->
                   let c, obs = Executor.execute exec e in
                   absorb_observations state.Mdp.stats obs;
-                  stats_cost := !stats_cost +. obs.Executor.obs_stats_cost;
                   acc +. c)
                 0.0 state.Mdp.r_p
             with

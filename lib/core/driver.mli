@@ -42,4 +42,14 @@ type outcome = {
   result_card : float;  (** cardinality of the final result; 0 on timeout *)
 }
 
-val run : config -> Catalog.t -> Query.t -> outcome
+val run :
+  ?telemetry:Monsoon_telemetry.Ctx.t -> config -> Catalog.t -> Query.t ->
+  outcome
+(** With [?telemetry], the run emits a [driver.run] root span (with
+    [query] / [timed_out] / [cost] / [executes] attributes), a
+    [driver.execute] span per EXECUTE step, and bumps [driver.replans] /
+    [driver.executes] / [driver.mcts_seconds] counters; the context is
+    threaded into {!Monsoon_exec.Executor} and MCTS planning. The
+    [outcome] component breakdown ([mcts_time], [stats_cost], [executes])
+    is derived from counter deltas over the run, so a context shared
+    across queries stays consistent. *)

@@ -1,6 +1,7 @@
 open Monsoon_storage
 open Monsoon_relalg
 open Monsoon_sketch
+open Monsoon_telemetry
 
 exception Timeout
 
@@ -8,16 +9,38 @@ type budget = { mutable remaining : float }
 
 let budget r = { remaining = r }
 
+(* Per-operator tuple counters, resolved once per execution context so the
+   hot paths pay one float store per event. *)
+type counters = {
+  m_scanned : Metric.Counter.t;  (* base-table rows read *)
+  m_built : Metric.Counter.t;  (* rows inserted into hash-join build tables *)
+  m_probed : Metric.Counter.t;  (* rows driven through hash-join probes *)
+  m_emitted : Metric.Counter.t;  (* join / cross-product output rows *)
+  m_sigma : Metric.Counter.t;  (* objects processed by Σ passes *)
+  m_budget : Metric.Counter.t;  (* budget consumed *)
+}
+
 type t = {
   catalog : Catalog.t;
   query : Query.t;
   mutable bud : budget;
   store : (Relset.t, Intermediate.t) Hashtbl.t;
   mutable produced : float;
+  tel : Ctx.t;
+  m : counters;
 }
 
-let create catalog query bud =
-  { catalog; query; bud; store = Hashtbl.create 16; produced = 0.0 }
+let create ?telemetry catalog query bud =
+  let tel = match telemetry with Some t -> t | None -> Ctx.null () in
+  let m =
+    { m_scanned = Ctx.counter tel "exec.tuples_scanned";
+      m_built = Ctx.counter tel "exec.tuples_built";
+      m_probed = Ctx.counter tel "exec.tuples_probed";
+      m_emitted = Ctx.counter tel "exec.tuples_emitted";
+      m_sigma = Ctx.counter tel "exec.sigma_objects";
+      m_budget = Ctx.counter tel "exec.budget_spent" }
+  in
+  { catalog; query; bud; store = Hashtbl.create 16; produced = 0.0; tel; m }
 
 let set_budget t bud = t.bud <- bud
 
@@ -33,6 +56,7 @@ let total_produced t = t.produced
 
 let spend t n =
   t.produced <- t.produced +. n;
+  Metric.Counter.add t.m.m_budget n;
   t.bud.remaining <- t.bud.remaining -. n;
   if t.bud.remaining < 0.0 then raise Timeout
 
@@ -58,6 +82,7 @@ let scan_base t rel =
   | None ->
     let table = Catalog.find t.catalog (Query.rel_by_id t.query rel).Query.table in
     let raw = Table.rows table in
+    Metric.Counter.add t.m.m_scanned (float_of_int (Array.length raw));
     let inter0 = Intermediate.of_base t.query t.catalog ~rows:raw rel in
     let filters =
       List.map (compile_filter t inter0) (Query.select_preds_of_rel t.query rel)
@@ -106,6 +131,8 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
   let accept row = List.for_all (fun f -> f row) filters in
   if conn = [] then begin
     (* Cross product (with any straddling filters). *)
+    Metric.Counter.add t.m.m_probed
+      (float_of_int (Intermediate.cardinality la));
     Array.iter
       (fun lrow ->
         Array.iter
@@ -113,6 +140,7 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
             let row = emit lrow rrow in
             if accept row then begin
               spend t 1.0;
+              Metric.Counter.inc t.m.m_emitted;
               incr n_out;
               out := row :: !out
             end)
@@ -137,6 +165,10 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
            conn)
     in
     let key_of keyers row = List.map (fun k -> k row) keyers in
+    Metric.Counter.add t.m.m_built
+      (float_of_int (Intermediate.cardinality build));
+    Metric.Counter.add t.m.m_probed
+      (float_of_int (Intermediate.cardinality probe));
     let table = Hashtbl.create (Intermediate.cardinality build * 2) in
     Array.iter
       (fun row -> Hashtbl.add table (key_of keyers_build row) row)
@@ -151,6 +183,7 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
             in
             if accept row then begin
               spend t 1.0;
+              Metric.Counter.inc t.m.m_emitted;
               incr n_out;
               out := row :: !out
             end)
@@ -164,17 +197,25 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
 let stats_pass t (inter : Intermediate.t) =
   (* One extra pass over the materialized input computes an HLL distinct
      count for every predicate-relevant term it can evaluate. *)
-  spend t (float_of_int (Intermediate.cardinality inter));
-  let terms = Query.interesting_terms t.query inter.Intermediate.mask in
-  List.map
-    (fun tm ->
-      let ev = compile_term t inter tm in
-      let hll = Hyperloglog.create ~p:14 () in
-      Array.iter (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row))) inter.Intermediate.rows;
-      (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
-    terms
+  let card = Intermediate.cardinality inter in
+  Ctx.with_span t.tel "exec.sigma"
+    ~attrs:[ ("objects", Span.Int card) ]
+    (fun _ ->
+      spend t (float_of_int card);
+      Metric.Counter.add t.m.m_sigma (float_of_int card);
+      let terms = Query.interesting_terms t.query inter.Intermediate.mask in
+      List.map
+        (fun tm ->
+          let ev = compile_term t inter tm in
+          let hll = Hyperloglog.create ~p:14 () in
+          Array.iter
+            (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
+            inter.Intermediate.rows;
+          (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
+        terms)
 
 let execute t expr =
+  Ctx.with_span t.tel "exec.execute" (fun span ->
   let cost = ref 0.0 in
   let stats_cost = ref 0.0 in
   let obs_counts = ref [] in
@@ -218,11 +259,22 @@ let execute t expr =
         record m inter;
         inter)
   in
-  let _ = go ~is_root:true expr in
-  ( !cost,
-    { obs_counts = !obs_counts;
-      obs_distincts = !obs_distincts;
-      obs_stats_cost = !stats_cost } )
+  (* Attributes reflect whatever was charged, even when the budget runs
+     out mid-plan — the trace then shows where the run died. *)
+  let close_attrs () =
+    Span.set_attr span "objects" (Span.Float !cost);
+    Span.set_attr span "sigma_objects" (Span.Float !stats_cost)
+  in
+  match go ~is_root:true expr with
+  | _ ->
+    close_attrs ();
+    ( !cost,
+      { obs_counts = !obs_counts;
+        obs_distincts = !obs_distincts;
+        obs_stats_cost = !stats_cost } )
+  | exception e ->
+    close_attrs ();
+    raise e)
 
 let result_rows t expr =
   match materialized t (Expr.mask expr) with

@@ -27,7 +27,15 @@ type t
     materialized intermediates keyed by instance mask. Persists across the
     multiple EXECUTE steps of a Monsoon run. *)
 
-val create : Catalog.t -> Query.t -> budget -> t
+val create :
+  ?telemetry:Monsoon_telemetry.Ctx.t -> Catalog.t -> Query.t -> budget -> t
+(** With [?telemetry], per-operator tuple counters land in the context's
+    registry ([exec.tuples_scanned]/[_built]/[_probed]/[_emitted],
+    [exec.sigma_objects], [exec.budget_spent]) and every [execute] call and
+    Σ pass emits a span ([exec.execute] with [objects]/[sigma_objects]
+    attributes — set even when the call raises {!Timeout} — and
+    [exec.sigma]). Default: a fresh Null-sink context; the counters still
+    run but nothing retains them. *)
 
 val set_budget : t -> budget -> unit
 

@@ -4,6 +4,7 @@ open Monsoon_stats
 open Monsoon_core
 open Monsoon_baselines
 open Monsoon_workloads
+open Monsoon_telemetry
 
 type profile = {
   label : string;
@@ -20,6 +21,7 @@ type profile = {
   monsoon_iterations : int;
   tpch_queries : string list option;
   imdb_queries : string list option;
+  telemetry : Ctx.t;
 }
 
 let quick =
@@ -36,7 +38,8 @@ let quick =
     udf_budget = 1e6;
     monsoon_iterations = 150;
     tpch_queries = Some [ "tq1"; "tq2"; "tq9"; "tq12" ];
-    imdb_queries = Some [ "iq1"; "iq7"; "iq13"; "iq22"; "iq31"; "iq46"; "iq51"; "iq58" ] }
+    imdb_queries = Some [ "iq1"; "iq7"; "iq13"; "iq22"; "iq31"; "iq46"; "iq51"; "iq58" ];
+    telemetry = Ctx.null () }
 
 let full =
   { label = "full";
@@ -54,7 +57,8 @@ let full =
     udf_budget = 2e6;
     monsoon_iterations = 400;
     tpch_queries = None;
-    imdb_queries = None }
+    imdb_queries = None;
+    telemetry = Ctx.null () }
 
 (* --- Shared pieces of the Sec 2.3 walkthrough (Table 1, Figure 1) --- *)
 
@@ -210,7 +214,10 @@ let monsoon_strategy profile prior =
 
 let run_workload profile ~budget ?queries strategies workload =
   Runner.run_suite
-    { Runner.budget; seed = profile.seed; queries }
+    { Runner.budget;
+      seed = profile.seed;
+      queries;
+      telemetry = profile.telemetry }
     strategies workload
 
 let table2 profile =
@@ -409,16 +416,39 @@ let table7_figure3 profile =
 let table8 profile =
   let monsoon = monsoon_strategy profile Prior.spike_and_slab in
   let bench ~name ~budget ?queries w =
-    let rows = run_workload profile ~budget ?queries [ monsoon ] w in
+    (* Each benchmark runs under a fresh in-memory trace; the row is
+       derived from the spans the instrumented stack emits (MCTS planning
+       wall-time, Σ-pass objects, executed objects) rather than from
+       per-outcome accumulator fields. *)
+    let buf = Span.memory_buffer () in
+    let tel = Ctx.create ~sink:(Span.Memory buf) () in
+    let rows =
+      Runner.run_suite
+        { Runner.budget; seed = profile.seed; queries; telemetry = tel }
+        [ monsoon ] w
+    in
     match rows with
     | [ row ] ->
       let outs = List.filter_map (fun c -> c.Runner.outcome) row.Runner.cells in
       let n = float_of_int (max 1 (List.length outs)) in
-      let avg f = List.fold_left (fun acc o -> acc +. f o) 0.0 outs /. n in
+      let comps = Snapshot.breakdown (Span.buffer_spans buf) in
+      let seconds_of nm =
+        match Snapshot.component nm comps with
+        | Some c -> c.Snapshot.comp_seconds
+        | None -> 0.0
+      in
+      let objects_of nm =
+        match Snapshot.component nm comps with
+        | Some c -> c.Snapshot.comp_objects
+        | None -> 0.0
+      in
+      let sigma = objects_of "exec.sigma" in
+      (* [exec.execute] spans carry the full charged cost, Σ included. *)
+      let execution = Float.max 0.0 (objects_of "exec.execute" -. sigma) in
       [ name;
-        Report.seconds (avg (fun o -> o.Strategy.plan_time));
-        Report.cost (avg (fun o -> o.Strategy.stats_cost));
-        Report.cost (avg (fun o -> o.Strategy.cost -. o.Strategy.stats_cost)) ]
+        Report.seconds (seconds_of "mcts.plan" /. n);
+        Report.cost (sigma /. n);
+        Report.cost (execution /. n) ]
     | _ -> assert false
   in
   let imdb = Imdb.workload { Imdb.seed = profile.seed; scale = profile.imdb_scale } in

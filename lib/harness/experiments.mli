@@ -19,6 +19,10 @@ type profile = {
   monsoon_iterations : int;
   tpch_queries : string list option;  (** Table 2 subset; [None] = all 12 *)
   imdb_queries : string list option;  (** [None] = all 60 *)
+  telemetry : Monsoon_telemetry.Ctx.t;
+      (** threaded through every suite run (spans, counters); the presets
+          use a silent Null-sink context — override with a record update to
+          trace an experiment *)
 }
 
 val quick : profile
@@ -44,7 +48,12 @@ val tables3_4_5 : profile -> string * string * string
 
 val table6 : profile -> string
 val table7_figure3 : profile -> string * string
+
 val table8 : profile -> string
+(** Monsoon component breakdown (MCTS / Σ / Execution). Each benchmark runs
+    under a fresh [Memory]-sink telemetry context and the columns are
+    derived from the emitted spans ([mcts.plan] durations, [exec.sigma] and
+    [exec.execute] object attributes). *)
 
 val ablation_selection : profile -> string
 (** UCT vs ε-greedy (both Sec 5.1 strategies). *)

@@ -1,27 +1,7 @@
-let pad width s =
-  let n = String.length s in
-  if n >= width then s else s ^ String.make (width - n) ' '
-
-let table ~title ~header rows =
-  let all = header :: rows in
-  let n_cols = List.length header in
-  let widths =
-    List.init n_cols (fun i ->
-        List.fold_left
-          (fun acc row ->
-            match List.nth_opt row i with
-            | Some cell -> max acc (String.length cell)
-            | None -> acc)
-          0 all)
-  in
-  let render_row row = "  " ^ String.concat "  " (List.map2 pad widths row) in
-  let sep = "  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths) in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (title ^ "\n");
-  Buffer.add_string buf (render_row header ^ "\n");
-  Buffer.add_string buf (sep ^ "\n");
-  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
-  Buffer.contents buf
+(* The generic ASCII layout lives with the telemetry snapshots so metric
+   and trace reports share it; this module keeps the harness-facing name. *)
+let pad = Monsoon_telemetry.Snapshot.pad
+let table = Monsoon_telemetry.Snapshot.table
 
 let cost c =
   if c >= 1e9 then Printf.sprintf "%.2fG" (c /. 1e9)

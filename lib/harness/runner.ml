@@ -1,8 +1,14 @@
 open Monsoon_util
 open Monsoon_baselines
 open Monsoon_workloads
+open Monsoon_telemetry
 
-type config = { budget : float; seed : int; queries : string list option }
+type config = {
+  budget : float;
+  seed : int;
+  queries : string list option;
+  telemetry : Ctx.t;
+}
 
 type cell = { query : string; outcome : Strategy.outcome option }
 type row = { strategy : string; cells : cell list }
@@ -27,7 +33,19 @@ let run_suite config strategies (w : Workload.t) =
                 Rng.create (Hashtbl.hash (config.seed, s.Strategy.name, qname))
               in
               let outcome =
-                s.Strategy.run ~rng ~budget:config.budget w.Workload.catalog q
+                Ctx.with_span config.telemetry "query"
+                  ~attrs:
+                    [ ("strategy", Span.Str s.Strategy.name);
+                      ("query", Span.Str qname) ]
+                @@ fun span ->
+                let o =
+                  s.Strategy.run ~telemetry:config.telemetry ~rng
+                    ~budget:config.budget w.Workload.catalog q
+                in
+                Span.set_attr span "cost" (Span.Float o.Strategy.cost);
+                Span.set_attr span "timed_out"
+                  (Span.Bool o.Strategy.timed_out);
+                o
               in
               { query = qname; outcome = Some outcome }
             end)

@@ -9,6 +9,11 @@ type config = {
       (** tuple budget per (strategy, query) — the timeout stand-in *)
   seed : int;
   queries : string list option;  (** restrict the suite; [None] = all *)
+  telemetry : Monsoon_telemetry.Ctx.t;
+      (** threaded into every strategy run; each (strategy, query) cell
+          executes under a ["query"] root span carrying [strategy] /
+          [query] / [cost] / [timed_out] attributes. Use
+          [Monsoon_telemetry.Ctx.null ()] to run silently. *)
 }
 
 type cell = {

@@ -87,9 +87,20 @@ let select_eps cfg ~progress node =
       None node.edges
     |> Option.get
 
-let plan cfg p root_state =
+let plan ?telemetry cfg p root_state =
   if p.is_terminal root_state then None
   else begin
+    let tel =
+      match telemetry with Some t -> t | None -> Monsoon_telemetry.Ctx.null ()
+    in
+    let open Monsoon_telemetry in
+    let c_plans = Ctx.counter tel "mcts.plans" in
+    let c_iterations = Ctx.counter tel "mcts.iterations" in
+    let c_expansions = Ctx.counter tel "mcts.expansions" in
+    let h_depth = Ctx.histogram tel "mcts.tree_depth" in
+    let expansions = ref 0 in
+    let depth_reached = ref 0 in
+    Ctx.with_span tel "mcts.plan" (fun span ->
     let root = make_node p root_state in
     (* Global return bounds for [0,1] normalization of the exploitation
        term, as the paper prescribes. *)
@@ -116,12 +127,14 @@ let plan cfg p root_state =
       edge.e_total <- edge.e_total +. g
     in
     let rec simulate ~progress node depth =
+      if depth > !depth_reached then depth_reached := depth;
       if p.is_terminal node.state || depth >= cfg.max_rollout_steps then 0.0
       else
         match node.untried with
         | a :: rest ->
           (* Expansion: try one unvisited action, then roll out. *)
           node.untried <- rest;
+          incr expansions;
           let edge = { action = a; e_visits = 0; e_total = 0.0; children = Hashtbl.create 4 } in
           node.edges <- node.edges @ [ edge ];
           let state', r = p.step node.state a in
@@ -147,9 +160,17 @@ let plan cfg p root_state =
     in
     for i = 0 to cfg.iterations - 1 do
       let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
+      depth_reached := 0;
       let g = simulate ~progress root 0 in
+      Metric.Histogram.observe h_depth (float_of_int !depth_reached);
       observe g
     done;
+    Metric.Counter.inc c_plans;
+    Metric.Counter.add c_iterations (float_of_int cfg.iterations);
+    Metric.Counter.add c_expansions (float_of_int !expansions);
+    Span.set_attr span "iterations" (Span.Int cfg.iterations);
+    Span.set_attr span "expansions" (Span.Int !expansions);
+    Span.set_attr span "root_visits" (Span.Int root.visits);
     (* Final choice: best mean return; ties broken toward more visits. *)
     let best =
       List.fold_left
@@ -166,9 +187,11 @@ let plan cfg p root_state =
     match best with
     | None -> None
     | Some e ->
+      Span.set_attr span "chosen_visits" (Span.Int e.e_visits);
+      Span.set_attr span "chosen_mean" (Span.Float (edge_mean e));
       Some
         ( e.action,
           { chosen_visits = e.e_visits;
             chosen_mean = edge_mean e;
-            root_visits = root.visits } )
+            root_visits = root.visits } ))
   end

@@ -47,6 +47,14 @@ type stats = {
   root_visits : int;
 }
 
-val plan : config -> ('s, 'a) problem -> 's -> ('a * stats) option
+val plan :
+  ?telemetry:Monsoon_telemetry.Ctx.t ->
+  config -> ('s, 'a) problem -> 's -> ('a * stats) option
 (** [plan cfg p s] returns the preferred action from [s], or [None] when
-    [s] is terminal. *)
+    [s] is terminal.
+
+    With [?telemetry], each call bumps [mcts.plans] / [mcts.iterations] /
+    [mcts.expansions] counters, observes per-iteration tree depth in the
+    [mcts.tree_depth] histogram, and emits an [mcts.plan] span carrying
+    iteration, expansion, and selection-policy attributes
+    ([root_visits], [chosen_visits], [chosen_mean]). *)

@@ -1,0 +1,14 @@
+type t = { registry : Registry.t; tracer : Span.tracer }
+
+let create ?(sink = Span.Null) () =
+  { registry = Registry.create (); tracer = Span.make sink }
+
+let null () = create ()
+
+let counter t ?labels name = Registry.counter t.registry ?labels name
+let gauge t ?labels name = Registry.gauge t.registry ?labels name
+
+let histogram t ?base ?labels name =
+  Registry.histogram t.registry ?base ?labels name
+
+let with_span t ?attrs name f = Span.with_span t.tracer ?attrs name f

@@ -1,0 +1,25 @@
+(** The telemetry context callers thread through the stack: one metric
+    {!Registry.t} plus one span {!Span.tracer}.
+
+    Every instrumented entry point ([Executor.create], [Mcts.plan],
+    [Driver.run], [Runner.run_suite], …) takes an optional [?telemetry]
+    context; omitting it gets a fresh Null-sink context, so uninstrumented
+    callers keep working and pay only counter updates. *)
+
+type t = { registry : Registry.t; tracer : Span.tracer }
+
+val create : ?sink:Span.sink -> unit -> t
+(** Default sink: {!Span.Null}. *)
+
+val null : unit -> t
+(** Fresh context that records metrics but drops spans. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> Metric.Counter.t
+val gauge : t -> ?labels:(string * string) list -> string -> Metric.Gauge.t
+
+val histogram :
+  t -> ?base:float -> ?labels:(string * string) list -> string ->
+  Metric.Histogram.t
+
+val with_span :
+  t -> ?attrs:(string * Span.attr) list -> string -> (Span.t -> 'a) -> 'a

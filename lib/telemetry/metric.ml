@@ -1,0 +1,119 @@
+module Counter = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+  let inc c = c.v <- c.v +. 1.0
+  let add c x = c.v <- c.v +. x
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+  let set g x = g.v <- x
+  let value g = g.v
+end
+
+module Histogram = struct
+  type t = {
+    base : float;
+    log_base : float;
+    counts : (int, int) Hashtbl.t;  (* bucket index -> count, v > 0 only *)
+    mutable underflow : int;  (* v <= 0 *)
+    mutable n : int;
+    mutable total : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create ?(base = 2.0) () =
+    if base <= 1.0 then invalid_arg "Histogram.create: base must be > 1";
+    { base;
+      log_base = Float.log base;
+      counts = Hashtbl.create 16;
+      underflow = 0;
+      n = 0;
+      total = 0.0;
+      mn = infinity;
+      mx = neg_infinity }
+
+  let base h = h.base
+
+  (* floor(log_base v), corrected against float log imprecision so that
+     exact powers of the base land in the bucket they open. *)
+  let index_of h v =
+    let i = ref (int_of_float (Float.floor (Float.log v /. h.log_base))) in
+    while h.base ** float_of_int !i > v do
+      decr i
+    done;
+    while h.base ** float_of_int (!i + 1) <= v do
+      incr i
+    done;
+    !i
+
+  let bucket_index h v = if v <= 0.0 then None else Some (index_of h v)
+
+  let bucket_bounds h i =
+    (h.base ** float_of_int i, h.base ** float_of_int (i + 1))
+
+  let observe h v =
+    h.n <- h.n + 1;
+    h.total <- h.total +. v;
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v;
+    if v <= 0.0 then h.underflow <- h.underflow + 1
+    else begin
+      let i = index_of h v in
+      Hashtbl.replace h.counts i
+        (1 + Option.value ~default:0 (Hashtbl.find_opt h.counts i))
+    end
+
+  let count h = h.n
+  let sum h = h.total
+  let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
+  let min_value h = h.mn
+  let max_value h = h.mx
+
+  let buckets h =
+    let positive =
+      Hashtbl.fold (fun i c acc -> (i, c) :: acc) h.counts []
+      |> List.sort compare
+      |> List.map (fun (i, c) -> (Some (bucket_bounds h i), c))
+    in
+    if h.underflow > 0 then (None, h.underflow) :: positive else positive
+
+  let quantile h q =
+    if h.n = 0 then 0.0
+    else begin
+      let rank = Float.max 1.0 (Float.round (q *. float_of_int h.n)) in
+      let rec walk acc = function
+        | [] -> h.mx  (* q = 1 rounding *)
+        | (bounds, c) :: rest ->
+          let acc = acc + c in
+          if float_of_int acc >= rank then
+            match bounds with None -> 0.0 | Some (_, hi) -> hi
+          else walk acc rest
+      in
+      walk 0 (buckets h)
+    end
+
+  let merge a b =
+    if a.base <> b.base then invalid_arg "Histogram.merge: different bases";
+    let m = create ~base:a.base () in
+    let blend (h : t) =
+      Hashtbl.iter
+        (fun i c ->
+          Hashtbl.replace m.counts i
+            (c + Option.value ~default:0 (Hashtbl.find_opt m.counts i)))
+        h.counts;
+      m.underflow <- m.underflow + h.underflow;
+      m.n <- m.n + h.n;
+      m.total <- m.total +. h.total;
+      if h.mn < m.mn then m.mn <- h.mn;
+      if h.mx > m.mx then m.mx <- h.mx
+    in
+    blend a;
+    blend b;
+    m
+end

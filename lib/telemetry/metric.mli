@@ -1,0 +1,65 @@
+(** Metric primitives: counters, gauges, and log-bucketed histograms.
+
+    All three are plain mutable records — an update is one or two float
+    stores, cheap enough to leave enabled on hot executor/MCTS paths.
+    Instances are normally interned through {!Registry} so snapshots can
+    find them; nothing stops standalone use in tests. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val inc : t -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+  (** Log-bucketed histogram: bucket [i] covers values in
+      [[base^i, base^(i+1))] for any integer [i] (negative indices cover
+      (0,1)); values ≤ 0 land in a dedicated underflow bucket. The default
+      base is 2. *)
+
+  val create : ?base:float -> unit -> t
+  (** [base] must be > 1. *)
+
+  val base : t -> float
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float  (** 0 when empty *)
+
+  val min_value : t -> float
+  (** Smallest observed value; [infinity] when empty. *)
+
+  val max_value : t -> float
+  (** Largest observed value; [neg_infinity] when empty. *)
+
+  val bucket_index : t -> float -> int option
+  (** [None] for the underflow (≤ 0) bucket. *)
+
+  val bucket_bounds : t -> int -> float * float
+  (** [(base^i, base^(i+1))] — the half-open range of bucket [i]. *)
+
+  val buckets : t -> ((float * float) option * int) list
+  (** Non-empty buckets in increasing order as [(bounds, count)];
+      [None] bounds identify the underflow bucket (listed first). *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for q ∈ [0,1]: the upper bound of the bucket holding
+      the q-th observation (0 for the underflow bucket; 0 when empty).
+      Accuracy is bounded by the bucket width, i.e. a factor of [base]. *)
+
+  val merge : t -> t -> t
+  (** Combined histogram; both inputs are left untouched.
+      @raise Invalid_argument when the bases differ. *)
+end

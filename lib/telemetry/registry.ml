@@ -1,0 +1,61 @@
+type key = { name : string; labels : (string * string) list }
+
+type instrument =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+type t = { tbl : (key, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let key name labels =
+  { name; labels = List.sort (fun (a, _) (b, _) -> compare a b) labels }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let intern t name labels ~make =
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.replace t.tbl k i;
+    i
+
+let counter t ?(labels = []) name =
+  match
+    intern t name labels ~make:(fun () -> Counter (Metric.Counter.create ()))
+  with
+  | Counter c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry.counter: %s is a %s" name (kind_name other))
+
+let gauge t ?(labels = []) name =
+  match
+    intern t name labels ~make:(fun () -> Gauge (Metric.Gauge.create ()))
+  with
+  | Gauge g -> g
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry.gauge: %s is a %s" name (kind_name other))
+
+let histogram t ?base ?(labels = []) name =
+  match
+    intern t name labels
+      ~make:(fun () -> Histogram (Metric.Histogram.create ?base ()))
+  with
+  | Histogram h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Registry.histogram: %s is a %s" name (kind_name other))
+
+let find t ?(labels = []) name = Hashtbl.find_opt t.tbl (key name labels)
+
+let to_list t =
+  Hashtbl.fold (fun k i acc -> (k, i) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

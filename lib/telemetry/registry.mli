@@ -1,0 +1,37 @@
+(** A global-free metric registry.
+
+    Callers thread a registry explicitly (usually inside a {!Ctx.t});
+    nothing in the library touches process-global state, so concurrent
+    runs, tests, and nested experiments cannot observe each other.
+
+    [counter]/[gauge]/[histogram] intern by (name, labels): the first call
+    creates the instrument, later calls return the same one, so hot paths
+    should resolve once and hold on to the result. Asking for an existing
+    name with a different instrument kind raises [Invalid_argument]. *)
+
+type t
+
+type key = private {
+  name : string;
+  labels : (string * string) list;  (** sorted by label name *)
+}
+
+type instrument =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+val create : unit -> t
+
+val counter : t -> ?labels:(string * string) list -> string -> Metric.Counter.t
+val gauge : t -> ?labels:(string * string) list -> string -> Metric.Gauge.t
+
+val histogram :
+  t -> ?base:float -> ?labels:(string * string) list -> string ->
+  Metric.Histogram.t
+(** [base] only applies when the call creates the histogram. *)
+
+val find : t -> ?labels:(string * string) list -> string -> instrument option
+
+val to_list : t -> (key * instrument) list
+(** Sorted by name, then labels — the iteration order of snapshots. *)

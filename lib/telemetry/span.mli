@@ -1,0 +1,69 @@
+(** Nested trace spans on the monotonic clock, emitted to a pluggable sink.
+
+    A {!tracer} hands out span ids and tracks the open-span stack so
+    children find their parent implicitly. Completed spans go to the
+    tracer's sink:
+
+    - {!sink.Null} (the default everywhere) records nothing: [with_span]
+      reduces to calling the thunk with a shared dummy span, so
+      uninstrumented runs pay essentially nothing;
+    - [Memory] keeps completed spans in order for tests and in-process
+      reports;
+    - [Jsonl] appends one JSON object per completed span to a channel, for
+      offline analysis;
+    - [Multi] fans out to several sinks.
+
+    Spans close in LIFO order; an exception escaping the thunk still closes
+    the span (tagged with an ["error"] attribute) and re-raises. *)
+
+type attr =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type t = {
+  id : int;
+  parent : int option;  (** id of the enclosing span, if any *)
+  name : string;
+  start : float;  (** {!Monsoon_util.Timer.now} seconds (monotonic) *)
+  mutable stop : float;  (** [nan] while the span is open *)
+  mutable attrs : (string * attr) list;
+}
+
+val duration : t -> float
+
+type buffer
+
+type sink =
+  | Null
+  | Memory of buffer
+  | Jsonl of out_channel
+  | Multi of sink list
+
+val memory_buffer : unit -> buffer
+
+val buffer_spans : buffer -> t list
+(** Completed spans in completion order (children before their parent). *)
+
+type tracer
+
+val make : sink -> tracer
+val null : unit -> tracer
+val sink : tracer -> sink
+
+val enabled : tracer -> bool
+(** [false] for a [Null]-sink tracer: spans will not be recorded. *)
+
+val set_attr : t -> string -> attr -> unit
+(** Replaces an existing attribute of the same name. No-op on the dummy
+    span that [with_span] passes under a [Null] sink. *)
+
+val with_span :
+  tracer -> ?attrs:(string * attr) list -> string -> (t -> 'a) -> 'a
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val load_jsonl : string -> (t list, string) result
+(** Reads a JSONL trace file back into spans (blank lines skipped). *)

@@ -2,7 +2,8 @@
     component breakdown (paper Table 8). *)
 
 val now : unit -> float
-(** Monotonic-ish wall-clock seconds. *)
+(** Monotonic seconds (CLOCK_MONOTONIC; arbitrary epoch). Differences are
+    always ≥ 0 regardless of wall-clock adjustments. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result together with elapsed seconds. *)

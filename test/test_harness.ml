@@ -102,7 +102,10 @@ let test_run_suite_applicability () =
   in
   let rows =
     Runner.run_suite
-      { Runner.budget = 1e6; seed = 1; queries = Some [ "uq16" ] }
+      { Runner.budget = 1e6;
+        seed = 1;
+        queries = Some [ "uq16" ];
+        telemetry = Monsoon_telemetry.Ctx.null () }
       [ Strategy.postgres; Strategy.greedy ]
       w
   in

@@ -1,0 +1,290 @@
+(* The telemetry subsystem: histogram bucketing and merge, registry
+   interning, span nesting and sinks (null / memory / JSONL round-trip),
+   snapshot reports, and the driver's span-derived component breakdown. *)
+
+open Monsoon_util
+open Monsoon_telemetry
+open Monsoon_core
+open Monsoon_workloads
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Histograms --- *)
+
+let test_histogram_buckets () =
+  let h = Metric.Histogram.create () in
+  Alcotest.(check (option int)) "1.0 -> bucket 0" (Some 0)
+    (Metric.Histogram.bucket_index h 1.0);
+  Alcotest.(check (option int)) "1.99 -> bucket 0" (Some 0)
+    (Metric.Histogram.bucket_index h 1.99);
+  Alcotest.(check (option int)) "2.0 -> bucket 1" (Some 1)
+    (Metric.Histogram.bucket_index h 2.0);
+  Alcotest.(check (option int)) "1024 -> bucket 10" (Some 10)
+    (Metric.Histogram.bucket_index h 1024.0);
+  Alcotest.(check (option int)) "0.5 -> bucket -1" (Some (-1))
+    (Metric.Histogram.bucket_index h 0.5);
+  Alcotest.(check (option int)) "0 -> underflow" None
+    (Metric.Histogram.bucket_index h 0.0);
+  Alcotest.(check (option int)) "negative -> underflow" None
+    (Metric.Histogram.bucket_index h (-3.0));
+  let lo, hi = Metric.Histogram.bucket_bounds h 0 in
+  Alcotest.(check (float 1e-9)) "bucket 0 lower" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "bucket 0 upper" 2.0 hi;
+  let h10 = Metric.Histogram.create ~base:10.0 () in
+  Alcotest.(check (option int)) "base 10: 10 -> bucket 1" (Some 1)
+    (Metric.Histogram.bucket_index h10 10.0);
+  Alcotest.(check (option int)) "base 10: 100 -> bucket 2" (Some 2)
+    (Metric.Histogram.bucket_index h10 100.0);
+  Alcotest.(check (option int)) "base 10: 9.99 -> bucket 0" (Some 0)
+    (Metric.Histogram.bucket_index h10 9.99)
+
+let test_histogram_observe_and_quantile () =
+  let h = Metric.Histogram.create () in
+  List.iter (Metric.Histogram.observe h) [ 1.0; 1.5; 3.0; 0.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Metric.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 105.5 (Metric.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "min" 0.0 (Metric.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Metric.Histogram.max_value h);
+  (* Non-empty buckets, underflow first, then increasing bounds. *)
+  (match Metric.Histogram.buckets h with
+  | (None, 1) :: rest ->
+    let lower = List.map (fun (b, _) -> fst (Option.get b)) rest in
+    Alcotest.(check bool) "buckets increase" true
+      (lower = List.sort compare lower)
+  | _ -> Alcotest.fail "expected a leading underflow bucket");
+  (* The q-th observation's bucket upper bound: 0 for the underflow value,
+     a power of two otherwise. *)
+  Alcotest.(check (float 1e-9)) "q=0 hits underflow" 0.0
+    (Metric.Histogram.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 hits the top bucket" 128.0
+    (Metric.Histogram.quantile h 1.0)
+
+let test_histogram_merge () =
+  let h1 = Metric.Histogram.create () in
+  let h2 = Metric.Histogram.create () in
+  List.iter (Metric.Histogram.observe h1) [ 1.0; 2.0; 3.0 ];
+  List.iter (Metric.Histogram.observe h2) [ 4.0; 5.0 ];
+  let m = Metric.Histogram.merge h1 h2 in
+  Alcotest.(check int) "merged count" 5 (Metric.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 15.0 (Metric.Histogram.sum m);
+  Alcotest.(check (float 1e-9)) "merged min" 1.0 (Metric.Histogram.min_value m);
+  Alcotest.(check (float 1e-9)) "merged max" 5.0 (Metric.Histogram.max_value m);
+  (* Inputs untouched. *)
+  Alcotest.(check int) "h1 untouched" 3 (Metric.Histogram.count h1);
+  let other = Metric.Histogram.create ~base:10.0 () in
+  Alcotest.check_raises "base mismatch"
+    (Invalid_argument "Histogram.merge: different bases") (fun () ->
+      ignore (Metric.Histogram.merge h1 other))
+
+(* --- Registry --- *)
+
+let test_registry_interning () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "hits" in
+  let c2 = Registry.counter r "hits" in
+  Metric.Counter.inc c1;
+  Alcotest.(check (float 1e-9)) "same instrument" 1.0 (Metric.Counter.value c2);
+  (* Labels intern order-independently. *)
+  let l1 = Registry.counter r ~labels:[ ("b", "2"); ("a", "1") ] "hits" in
+  let l2 = Registry.counter r ~labels:[ ("a", "1"); ("b", "2") ] "hits" in
+  Metric.Counter.add l1 5.0;
+  Alcotest.(check (float 1e-9)) "labels sorted" 5.0 (Metric.Counter.value l2);
+  Alcotest.(check bool) "kind mismatch raises" true
+    (match Registry.gauge r "hits" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check int) "two keys (unlabeled + labeled)" 2
+    (List.length (Registry.to_list r))
+
+(* --- Spans --- *)
+
+let test_span_nesting () =
+  let buf = Span.memory_buffer () in
+  let tr = Span.make (Span.Memory buf) in
+  let r =
+    Span.with_span tr "outer" (fun outer ->
+        Span.set_attr outer "k" (Span.Int 1);
+        let x = Span.with_span tr "inner" (fun _ -> 21) in
+        x * 2)
+  in
+  Alcotest.(check int) "result" 42 r;
+  match Span.buffer_spans buf with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner first (completion order)" "inner"
+      inner.Span.name;
+    Alcotest.(check string) "outer second" "outer" outer.Span.name;
+    Alcotest.(check (option int)) "inner's parent" (Some outer.Span.id)
+      inner.Span.parent;
+    Alcotest.(check (option int)) "outer is a root" None outer.Span.parent;
+    Alcotest.(check bool) "attr retained" true
+      (List.mem_assoc "k" outer.Span.attrs);
+    Alcotest.(check bool) "durations non-negative" true
+      (Span.duration inner >= 0.0 && Span.duration outer >= Span.duration inner)
+  | spans ->
+    Alcotest.failf "expected two completed spans, got %d" (List.length spans)
+
+let test_span_exception_closes () =
+  let buf = Span.memory_buffer () in
+  let tr = Span.make (Span.Memory buf) in
+  (try Span.with_span tr "boom" (fun _ -> failwith "nope") with
+  | Failure _ -> ());
+  match Span.buffer_spans buf with
+  | [ s ] ->
+    Alcotest.(check bool) "closed" true (Float.is_finite s.Span.stop);
+    Alcotest.(check bool) "error attr" true (List.mem_assoc "error" s.Span.attrs)
+  | _ -> Alcotest.fail "expected one completed span"
+
+let test_null_sink_noop () =
+  let tr = Span.null () in
+  Alcotest.(check bool) "disabled" false (Span.enabled tr);
+  let seen = ref None in
+  let r =
+    Span.with_span tr "a" (fun s ->
+        Span.set_attr s "k" (Span.Int 1);
+        seen := Some s;
+        Span.with_span tr "b" (fun s' -> if s == s' then 7 else 0))
+  in
+  (* Under Null every with_span hands out the same dummy span and set_attr
+     does not accumulate on it. *)
+  Alcotest.(check int) "dummy span shared" 7 r;
+  Alcotest.(check int) "no attrs retained" 0
+    (List.length (Option.get !seen).Span.attrs)
+
+let test_jsonl_roundtrip () =
+  let file = Filename.temp_file "monsoon_trace" ".jsonl" in
+  let oc = open_out file in
+  let tr = Span.make (Span.Jsonl oc) in
+  ignore
+    (Span.with_span tr "root"
+       ~attrs:[ ("s", Span.Str "x\"y"); ("flag", Span.Bool true) ]
+       (fun _ ->
+         Span.with_span tr "child"
+           ~attrs:[ ("n", Span.Int 42); ("f", Span.Float 2.5) ]
+           (fun _ -> ())));
+  close_out oc;
+  match Span.load_jsonl file with
+  | Error e -> Alcotest.fail e
+  | Ok [ child; root ] ->
+    Alcotest.(check string) "child name" "child" child.Span.name;
+    Alcotest.(check (option int)) "parent link" (Some root.Span.id)
+      child.Span.parent;
+    Alcotest.(check bool) "int attr" true
+      (List.assoc "n" child.Span.attrs = Span.Int 42);
+    Alcotest.(check bool) "float attr" true
+      (List.assoc "f" child.Span.attrs = Span.Float 2.5);
+    Alcotest.(check bool) "escaped string attr" true
+      (List.assoc "s" root.Span.attrs = Span.Str "x\"y");
+    Alcotest.(check bool) "bool attr" true
+      (List.assoc "flag" root.Span.attrs = Span.Bool true);
+    Alcotest.(check bool) "duration preserved" true
+      (Span.duration child >= 0.0)
+  | Ok spans ->
+    Alcotest.failf "expected two spans, got %d" (List.length spans)
+
+(* --- Snapshots --- *)
+
+let test_snapshot_reports () =
+  let tel = Ctx.create ~sink:Span.Null () in
+  Metric.Counter.add (Ctx.counter tel "work.done") 3.0;
+  Metric.Gauge.set (Ctx.gauge tel "depth") 2.0;
+  Metric.Histogram.observe (Ctx.histogram tel "sizes") 10.0;
+  let table = Snapshot.metrics_table ~title:"T" tel.Ctx.registry in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table mentions " ^ needle) true
+        (contains table needle))
+    [ "work.done"; "depth"; "sizes" ];
+  (* The JSON snapshot parses back. *)
+  let json = Json.to_string (Snapshot.metrics_json tel.Ctx.registry) in
+  match Json.of_string json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_breakdown_groups_spans () =
+  let buf = Span.memory_buffer () in
+  let tr = Span.make (Span.Memory buf) in
+  ignore
+    (Span.with_span tr "work" ~attrs:[ ("objects", Span.Int 10) ] (fun _ -> ()));
+  ignore
+    (Span.with_span tr "work" ~attrs:[ ("objects", Span.Int 5) ] (fun _ -> ()));
+  ignore (Span.with_span tr "other" (fun _ -> ()));
+  let comps = Snapshot.breakdown (Span.buffer_spans buf) in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  let work = Option.get (Snapshot.component "work" comps) in
+  Alcotest.(check int) "work spans" 2 work.Snapshot.comp_spans;
+  Alcotest.(check (float 1e-9)) "work objects" 15.0 work.Snapshot.comp_objects
+
+(* --- The driver's component breakdown, from spans --- *)
+
+let test_driver_breakdown () =
+  let w = Tpch.workload { Tpch.seed = 7; scale = 0.03; skew = Tpch.Plain } in
+  let q = Workload.find_query w "tq1" in
+  let buf = Span.memory_buffer () in
+  let tel = Ctx.create ~sink:(Span.Memory buf) () in
+  let config =
+    { (Driver.default_config ~rng:(Rng.create 3)) with
+      Driver.budget = 1e8;
+      mcts =
+        { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 3)) with
+          Monsoon_mcts.Mcts.iterations = 150 } }
+  in
+  let out = Driver.run ~telemetry:tel config w.Workload.catalog q in
+  Alcotest.(check bool) "completes" false out.Driver.timed_out;
+  let comps = Snapshot.breakdown (Span.buffer_spans buf) in
+  let comp name = Snapshot.component name comps in
+  let seconds name =
+    match comp name with Some c -> c.Snapshot.comp_seconds | None -> 0.0
+  in
+  let root = Option.get (comp "driver.run") in
+  Alcotest.(check int) "one root span" 1 root.Snapshot.comp_spans;
+  (* The root span brackets the outcome's wall measurement... *)
+  Alcotest.(check bool) "root covers the wall time" true
+    (root.Snapshot.comp_seconds >= out.Driver.wall -. 1e-3
+    && root.Snapshot.comp_seconds -. out.Driver.wall < 0.1);
+  (* ...and the component spans account for (almost all of) it. *)
+  let parts = seconds "mcts.plan" +. seconds "driver.execute" in
+  Alcotest.(check bool) "components fit inside the total" true
+    (parts <= root.Snapshot.comp_seconds +. 1e-3);
+  Alcotest.(check bool) "components dominate the total" true
+    (parts >= 0.5 *. root.Snapshot.comp_seconds);
+  (* The outcome's own breakdown is the same data. *)
+  Alcotest.(check bool) "mcts_time matches the mcts.plan spans" true
+    (Float.abs (out.Driver.mcts_time -. seconds "mcts.plan")
+    <= 0.02 +. (0.2 *. out.Driver.mcts_time));
+  let sigma =
+    match comp "exec.sigma" with
+    | Some c -> c.Snapshot.comp_objects
+    | None -> 0.0
+  in
+  Alcotest.(check (float 1e-6)) "sigma objects = stats_cost"
+    out.Driver.stats_cost sigma;
+  Alcotest.(check bool) "executes counted" true
+    (match comp "driver.execute" with
+    | Some c -> c.Snapshot.comp_spans = out.Driver.executes
+    | None -> out.Driver.executes = 0)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "histogram",
+        [ Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "observe/quantile" `Quick
+            test_histogram_observe_and_quantile;
+          Alcotest.test_case "merge" `Quick test_histogram_merge ] );
+      ( "registry",
+        [ Alcotest.test_case "interning" `Quick test_registry_interning ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+          Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_noop;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip ] );
+      ( "snapshot",
+        [ Alcotest.test_case "metrics reports" `Quick test_snapshot_reports;
+          Alcotest.test_case "breakdown groups spans" `Quick
+            test_breakdown_groups_spans ] );
+      ( "driver",
+        [ Alcotest.test_case "component breakdown" `Quick
+            test_driver_breakdown ] ) ]
