@@ -170,7 +170,44 @@ let tests =
             fun () ->
               for _ = 1 to 100 do
                 Metric.Counter.add c 1.0
-              done)) ]
+              done));
+      (* Flight recorder: the disabled path must be a branch and nothing
+         more; the active path pays the list cons. *)
+      Test.make ~name:"telemetry/recorder-null-record-x100"
+        (Staged.stage
+           (let r = Recorder.null () in
+            fun () ->
+              for i = 1 to 100 do
+                Recorder.record r (Recorder.Note { step = i; message = "x" })
+              done));
+      Test.make ~name:"telemetry/recorder-active-record-x100"
+        (Staged.stage (fun () ->
+             let r = Recorder.create () in
+             for i = 1 to 100 do
+               Recorder.record r (Recorder.Note { step = i; message = "x" })
+             done)) ]
+
+(* Machine-readable companion to the console table, for tracking kernel
+   performance across commits (see EXPERIMENTS.md). *)
+let bench_results_file = "BENCH_results.json"
+
+let write_results_json rows =
+  let entry (name, ns) =
+    Json.Obj
+      [ ("kernel", Json.Str name);
+        ("ns_per_op", if Float.is_nan ns then Json.Null else Json.Num ns);
+        ( "ops_per_sec",
+          if Float.is_nan ns || ns <= 0.0 then Json.Null
+          else Json.Num (1e9 /. ns) ) ]
+  in
+  let oc = open_out bench_results_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (Json.Arr (List.map entry rows)));
+      output_char oc '\n');
+  Printf.printf "  (wrote %d kernel results to %s)\n\n" (List.length rows)
+    bench_results_file
 
 let run_microbenchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -200,7 +237,8 @@ let run_microbenchmarks () =
       in
       Printf.printf "  %-45s %s/run\n" name pretty)
     rows;
-  print_newline ()
+  print_newline ();
+  write_results_json rows
 
 (* --- Full experiment regeneration --- *)
 

@@ -46,6 +46,45 @@ let with_telemetry ~trace ~keep f =
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the quick (smoke-test) profile.")
 
+let write_file path content =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Ok ()
+  with Sys_error msg -> Error (Printf.sprintf "cannot write %s: %s" path msg)
+
+(* Run one query under the flight recorder, print the explain report, and
+   honor the optional DOT / JSON export destinations. Shared by `explain'
+   and `experiment --explain'. *)
+let run_explain profile ~experiment ~query ~dot ~json =
+  match Experiments.explain profile ~experiment ~query with
+  | Error _ as e -> e
+  | Ok recorder ->
+    print_string (Explain.report recorder);
+    let write_opt dest content =
+      match dest with None -> Ok () | Some path -> write_file path content
+    in
+    Result.bind (write_opt dot (Recorder.to_dot recorder)) (fun () ->
+        write_opt json (Json.to_string (Recorder.to_json recorder) ^ "\n"))
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded MCTS root decisions as a Graphviz digraph to \
+           $(docv) (render with dot -Tsvg).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the full recorded trajectory as JSON to $(docv).")
+
 let trace_arg =
   Arg.(
     value
@@ -79,20 +118,42 @@ let experiment_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run quick trace metrics id =
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"QUERY"
+          ~doc:
+            "After the experiment table, re-run Monsoon on $(docv) with the \
+             decision flight recorder attached and print the explain report \
+             (see the `explain' command).")
+  in
+  let run quick trace metrics explain dot id =
     match find_experiment id with
     | None -> unknown_experiment id
     | Some (_, _, f) ->
-      with_telemetry ~trace ~keep:false (fun tel _ ->
-          let profile =
-            { (profile_of_flag quick) with Experiments.telemetry = tel }
-          in
-          print_string (f profile);
-          print_newline ();
-          if metrics then print_string (metrics_report tel))
+      let inner = ref (Ok ()) in
+      let outer =
+        with_telemetry ~trace ~keep:false (fun tel _ ->
+            let profile =
+              { (profile_of_flag quick) with Experiments.telemetry = tel }
+            in
+            print_string (f profile);
+            print_newline ();
+            if metrics then print_string (metrics_report tel);
+            match explain with
+            | None -> ()
+            | Some query ->
+              print_newline ();
+              inner :=
+                run_explain profile ~experiment:id ~query ~dot ~json:None)
+      in
+      (match outer with Ok () -> !inner | Error _ as e -> e)
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ quick_flag $ trace_arg $ metrics_arg $ id_arg)
+    Term.(
+      const run $ quick_flag $ trace_arg $ metrics_arg $ explain_arg $ dot_arg
+      $ id_arg)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
@@ -161,6 +222,29 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ quick_flag $ trace_arg $ id_arg)
 
+let explain_cmd =
+  let doc =
+    "Re-run Monsoon on one benchmark query with the decision flight recorder \
+     attached and print an EXPLAIN ANALYZE-style report: the MDP decision \
+     timeline with MCTS root statistics, per-node predicted vs observed \
+     cardinalities with q-errors, the worst misestimates, and the statistics \
+     hardened into the catalog. EXPERIMENT is a benchmark-backed experiment \
+     (tpch/table2, imdb/table3..5, ott/table6, udf/table7/figure3)."
+  in
+  let experiment_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let run quick dot json experiment query =
+    let profile = profile_of_flag quick in
+    run_explain profile ~experiment ~query ~dot ~json
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ quick_flag $ dot_arg $ json_arg $ experiment_arg $ query_arg)
+
 let demo_cmd =
   let doc =
     "Walk through the paper's Sec 2.3 example: the MDP, the chosen actions, \
@@ -177,7 +261,7 @@ let demo_cmd =
 let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
   Cmd.group (Cmd.info "monsoon" ~doc)
-    [ list_cmd; experiment_cmd; all_cmd; profile_cmd; demo_cmd ]
+    [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; demo_cmd ]
 
 let () =
   match Cmd.eval_value main with

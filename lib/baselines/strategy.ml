@@ -164,8 +164,7 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
             known_distincts = [];
             mcts;
             budget;
-            max_steps = 200;
-            verbose = false }
+            max_steps = 200 }
         in
         let out = Monsoon_core.Driver.run ?telemetry config catalog q in
         { cost = out.Monsoon_core.Driver.cost;

@@ -11,7 +11,6 @@ type config = {
   mcts : Monsoon_mcts.Mcts.config;
   budget : float;
   max_steps : int;
-  verbose : bool;
 }
 
 let default_config ~rng =
@@ -20,8 +19,7 @@ let default_config ~rng =
     known_distincts = [];
     mcts = Monsoon_mcts.Mcts.default_config ~rng;
     budget = 5e7;
-    max_steps = 200;
-    verbose = false }
+    max_steps = 200 }
 
 type outcome = {
   cost : float;
@@ -35,21 +33,77 @@ type outcome = {
   result_card : float;
 }
 
-let src = Logs.Src.create "monsoon.driver" ~doc:"Monsoon optimizer driver"
+let selection_name = function
+  | Monsoon_mcts.Mcts.Uct w -> Printf.sprintf "uct(w=%.3g)" w
+  | Monsoon_mcts.Mcts.Epsilon_greedy -> "eps-greedy"
 
-module Log = (val Logs.src_log src : Logs.LOG)
-
-(* Fold one EXECUTE step's observations into the real statistics set. *)
-let absorb_observations stats (obs : Executor.stat_obs) =
-  List.iter (fun (m, c) -> Stats_catalog.set_count stats m c)
+(* Fold one EXECUTE step's observations into the real statistics set,
+   mirroring each hardened statistic into the flight recorder. *)
+let absorb_observations ~recorder ~step query stats (obs : Executor.stat_obs) =
+  List.iter
+    (fun (m, c) ->
+      Stats_catalog.set_count stats m c;
+      if Recorder.enabled recorder then
+        Recorder.record recorder
+          (Recorder.Stat_observed
+             { step;
+               subject = Recorder.Count m;
+               pretty = Expr.describe query (Expr.leaf m);
+               value = c }))
     obs.Executor.obs_counts;
   List.iter
     (fun (tm, d) ->
-      Stats_catalog.set_distinct stats ~term:tm ~scope:Stats_catalog.Wildcard d)
+      Stats_catalog.set_distinct stats ~term:tm ~scope:Stats_catalog.Wildcard d;
+      if Recorder.enabled recorder then
+        Recorder.record recorder
+          (Recorder.Stat_observed
+             { step;
+               subject = Recorder.Distinct tm;
+               pretty = Term.describe (Query.term query tm);
+               value = d }))
     obs.Executor.obs_distincts
 
-let run ?telemetry config catalog query =
+(* Pre-order flight-recorder rows for one executed plan: observed
+   cardinalities come from what the executor materialized this call
+   ([obs_nodes]; the statistics catalog serves cache-hit nodes), predictions
+   from the plan-time [Simulator.predict_counts] pass. A mask whose count
+   was already measured at plan time has no prediction and hence no
+   q-error. *)
+let exec_nodes query stats ~predictions ~obs_nodes expr =
+  let rec go depth e acc =
+    match e with
+    | Expr.Stats inner -> go depth inner acc
+    | Expr.Leaf _ | Expr.Join _ ->
+      let m = Expr.mask e in
+      let observed =
+        match List.find_opt (fun (e', _) -> Expr.equal e' e) obs_nodes with
+        | Some (_, c) -> Some c
+        | None -> Stats_catalog.count stats m
+      in
+      let predicted = List.assoc_opt m predictions in
+      let q_error =
+        match (predicted, observed) with
+        | Some p, Some o -> Some (Recorder.q_error ~predicted:p ~observed:o)
+        | _ -> None
+      in
+      let node =
+        { Recorder.node_expr = Expr.describe query e;
+          node_mask = m;
+          node_depth = depth;
+          node_predicted = predicted;
+          node_observed = observed;
+          node_q_error = q_error }
+      in
+      let acc = node :: acc in
+      (match e with
+      | Expr.Join (a, b) -> go (depth + 1) b (go (depth + 1) a acc)
+      | _ -> acc)
+  in
+  List.rev (go 0 expr [])
+
+let run ?telemetry ?recorder config catalog query =
   let tel = match telemetry with Some t -> t | None -> Ctx.null () in
+  let recorder = match recorder with Some r -> r | None -> Recorder.null () in
   (* The Table-8 component breakdown is derived from the shared telemetry
      registry rather than private accumulators. Counters persist across
      queries on a shared context, so each run reads deltas against the
@@ -57,9 +111,14 @@ let run ?telemetry config catalog query =
   let c_mcts = Ctx.counter tel "driver.mcts_seconds" in
   let c_replans = Ctx.counter tel "driver.replans" in
   let c_executes = Ctx.counter tel "driver.executes" in
+  let c_steps = Ctx.counter tel "driver.steps" in
   let c_sigma = Ctx.counter tel "exec.sigma_objects" in
+  let h_qerr = Ctx.histogram tel "driver.q_error" in
+  let h_replans = Ctx.histogram tel "driver.replans_per_query" in
   let base_mcts = Metric.Counter.value c_mcts in
+  let base_replans = Metric.Counter.value c_replans in
   let base_executes = Metric.Counter.value c_executes in
+  let base_steps = Metric.Counter.value c_steps in
   let base_sigma = Metric.Counter.value c_sigma in
   Ctx.with_span tel "driver.run"
     ~attrs:[ ("query", Span.Str (Query.name query)) ]
@@ -71,6 +130,14 @@ let run ?telemetry config catalog query =
   in
   let total_cost = ref 0.0 in
   let trace = ref [] in
+  let record_start state =
+    if Recorder.enabled recorder then
+      Recorder.record recorder
+        (Recorder.Query_start
+           { query = Query.name query;
+             n_rels = Query.n_rels query;
+             state_key = Mdp.state_key state })
+  in
   let finish ~timed_out state =
     let result_card =
       if timed_out then 0.0
@@ -84,6 +151,14 @@ let run ?telemetry config catalog query =
     let executes =
       int_of_float (Metric.Counter.value c_executes -. base_executes)
     in
+    let steps_taken =
+      int_of_float (Metric.Counter.value c_steps -. base_steps)
+    in
+    Metric.Histogram.observe h_replans
+      (Metric.Counter.value c_replans -. base_replans);
+    Recorder.record recorder
+      (Recorder.Query_finish
+         { steps = steps_taken; cost = !total_cost; timed_out; result_card });
     Span.set_attr run_span "timed_out" (Span.Bool timed_out);
     Span.set_attr run_span "cost" (Span.Float !total_cost);
     Span.set_attr run_span "executes" (Span.Int executes);
@@ -100,23 +175,43 @@ let run ?telemetry config catalog query =
   (* Degenerate single-instance queries have no join-order problem: just
      run the filtered scan. *)
   if Query.n_rels query <= 1 then begin
+    record_start (Mdp.init_state ctx);
     match Executor.execute exec (Expr.base 0) with
-    | exception Executor.Timeout -> finish ~timed_out:true (Mdp.init_state ctx)
-    | _c, _obs -> finish ~timed_out:false (Mdp.init_state ctx)
+    | exception Executor.Timeout ->
+      Recorder.record recorder
+        (Recorder.Executed { step = 0; nodes = []; cost = 0.0; timed_out = true });
+      finish ~timed_out:true (Mdp.init_state ctx)
+    | c, obs ->
+      if Recorder.enabled recorder then
+        Recorder.record recorder
+          (Recorder.Executed
+             { step = 0;
+               nodes =
+                 exec_nodes query (Stats_catalog.create ()) ~predictions:[]
+                   ~obs_nodes:obs.Executor.obs_nodes (Expr.base 0);
+               cost = c;
+               timed_out = false });
+      finish ~timed_out:false (Mdp.init_state ctx)
   end
   else begin
-    let sim =
+    let sim_rng = config.mcts.Monsoon_mcts.Mcts.rng in
+    let make_sim rng =
       match config.prior_of with
-      | Some prior_of ->
-        Simulator.create_with ctx ~prior_of config.mcts.Monsoon_mcts.Mcts.rng
-      | None -> Simulator.create ctx config.prior config.mcts.Monsoon_mcts.Mcts.rng
+      | Some prior_of -> Simulator.create_with ctx ~prior_of rng
+      | None -> Simulator.create ctx config.prior rng
     in
+    let sim = make_sim sim_rng in
+    (* The predictor samples the prior to price each EXECUTE before it runs;
+       it draws from a private split of the planning rng so recording
+       predictions never perturbs the MCTS random stream. *)
+    let predictor = make_sim (Rng.split (Rng.copy sim_rng)) in
     let problem = Simulator.problem sim in
     let rec loop state steps =
       if Mdp.is_terminal ctx state then finish ~timed_out:false state
       else if steps >= config.max_steps then begin
-        Log.warn (fun m ->
-            m "query %s: step limit reached before completion" (Query.name query));
+        Recorder.record recorder
+          (Recorder.Note
+             { step = steps; message = "step limit reached before completion" });
         finish ~timed_out:true state
       end
       else begin
@@ -128,14 +223,34 @@ let run ?telemetry config catalog query =
         Metric.Counter.inc c_replans;
         match planned with
         | None -> finish ~timed_out:false state
-        | Some (action, _stats) ->
+        | Some (action, mstats) ->
+          Metric.Counter.inc c_steps;
           trace := Mdp.describe_action ctx action :: !trace;
-          if config.verbose then
-            Log.info (fun m ->
-                m "query %s: %s" (Query.name query) (Mdp.describe_action ctx action));
+          if Recorder.enabled recorder then
+            Recorder.record recorder
+              (Recorder.Decision
+                 { step = steps;
+                   state_key = Mdp.state_key state;
+                   legal_actions = List.length (Mdp.legal_actions ctx state);
+                   chosen = Mdp.describe_action ctx action;
+                   selection =
+                     selection_name config.mcts.Monsoon_mcts.Mcts.selection;
+                   root_visits = mstats.Monsoon_mcts.Mcts.root_visits;
+                   plan_seconds = mcts_dt;
+                   candidates =
+                     List.map
+                       (fun (c : _ Monsoon_mcts.Mcts.candidate) ->
+                         { Recorder.cand_action =
+                             Mdp.describe_action ctx
+                               c.Monsoon_mcts.Mcts.cand_action;
+                           cand_visits = c.Monsoon_mcts.Mcts.cand_visits;
+                           cand_mean = c.Monsoon_mcts.Mcts.cand_mean })
+                       mstats.Monsoon_mcts.Mcts.candidates });
           (match action with
           | Mdp.Execute -> (
             Metric.Counter.inc c_executes;
+            let predictions = Simulator.predict_counts predictor state in
+            let all_obs_nodes = ref [] in
             match
               Ctx.with_span tel "driver.execute"
                 ~attrs:[ ("step", Span.Int steps) ]
@@ -143,13 +258,46 @@ let run ?telemetry config catalog query =
               List.fold_left
                 (fun acc e ->
                   let c, obs = Executor.execute exec e in
-                  absorb_observations state.Mdp.stats obs;
+                  absorb_observations ~recorder ~step:steps query
+                    state.Mdp.stats obs;
+                  all_obs_nodes := !all_obs_nodes @ obs.Executor.obs_nodes;
                   acc +. c)
                 0.0 state.Mdp.r_p
             with
-            | exception Executor.Timeout -> finish ~timed_out:true state
+            | exception Executor.Timeout ->
+              (* Mid-plan death: nodes completed before the budget ran out
+                 were already absorbed into S, so the catalog fallback in
+                 [exec_nodes] still attributes their observed counts. *)
+              if Recorder.enabled recorder then
+                Recorder.record recorder
+                  (Recorder.Executed
+                     { step = steps;
+                       nodes =
+                         List.concat_map
+                           (exec_nodes query state.Mdp.stats ~predictions
+                              ~obs_nodes:!all_obs_nodes)
+                           state.Mdp.r_p;
+                       cost = 0.0;
+                       timed_out = true });
+              finish ~timed_out:true state
             | c ->
               total_cost := !total_cost +. c;
+              let nodes =
+                List.concat_map
+                  (exec_nodes query state.Mdp.stats ~predictions
+                     ~obs_nodes:!all_obs_nodes)
+                  state.Mdp.r_p
+              in
+              List.iter
+                (fun (n : Recorder.exec_node) ->
+                  match n.Recorder.node_q_error with
+                  | Some q -> Metric.Histogram.observe h_qerr q
+                  | None -> ())
+                nodes;
+              if Recorder.enabled recorder then
+                Recorder.record recorder
+                  (Recorder.Executed
+                     { step = steps; nodes; cost = c; timed_out = false });
               (* Only masks the executor actually materialized (and whose
                  counts were therefore observed) become part of R_e: a plan
                  overlapping an earlier one is served from the cache above
@@ -175,5 +323,6 @@ let run ?telemetry config catalog query =
         Stats_catalog.set_distinct init.Mdp.stats ~term
           ~scope:Stats_catalog.Wildcard d)
       config.known_distincts;
+    record_start init;
     loop init 0
   end

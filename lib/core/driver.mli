@@ -24,7 +24,6 @@ type config = {
   mcts : Monsoon_mcts.Mcts.config;
   budget : float;  (** tuple budget standing in for the paper's 20-min timeout *)
   max_steps : int;  (** safety valve on the number of MDP actions *)
-  verbose : bool;  (** log each chosen action via {!Logs} *)
 }
 
 val default_config : rng:Monsoon_util.Rng.t -> config
@@ -43,13 +42,27 @@ type outcome = {
 }
 
 val run :
-  ?telemetry:Monsoon_telemetry.Ctx.t -> config -> Catalog.t -> Query.t ->
-  outcome
+  ?telemetry:Monsoon_telemetry.Ctx.t ->
+  ?recorder:Monsoon_telemetry.Recorder.t ->
+  config -> Catalog.t -> Query.t -> outcome
 (** With [?telemetry], the run emits a [driver.run] root span (with
     [query] / [timed_out] / [cost] / [executes] attributes), a
     [driver.execute] span per EXECUTE step, and bumps [driver.replans] /
-    [driver.executes] / [driver.mcts_seconds] counters; the context is
-    threaded into {!Monsoon_exec.Executor} and MCTS planning. The
-    [outcome] component breakdown ([mcts_time], [stats_cost], [executes])
-    is derived from counter deltas over the run, so a context shared
-    across queries stays consistent. *)
+    [driver.executes] / [driver.mcts_seconds] / [driver.steps] counters
+    plus the [driver.q_error] (per-node cardinality error factor) and
+    [driver.replans_per_query] histograms; the context is threaded into
+    {!Monsoon_exec.Executor} and MCTS planning. The [outcome] component
+    breakdown ([mcts_time], [stats_cost], [executes]) is derived from
+    counter deltas over the run, so a context shared across queries stays
+    consistent.
+
+    With [?recorder] (an enabled
+    {!Monsoon_telemetry.Recorder.t}), the run additionally captures its
+    full decision trajectory: [Query_start], one [Decision] per chosen
+    action (state fingerprint, legal-action count, MCTS root statistics of
+    every candidate), one [Executed] per EXECUTE with per-node predicted vs
+    observed cardinalities and q-errors, one [Stat_observed] per statistic
+    hardened into the catalog, and [Query_finish]. Predictions are sampled
+    from a private split of the planning rng, so recording never perturbs
+    the optimizer's random stream. Default: a null recorder — the
+    instrumented paths reduce to one branch per event. *)

@@ -191,15 +191,22 @@ let state_key state =
 let describe_mask ctx m =
   Expr.describe ctx.query (Expr.leaf m)
 
-let describe_action ctx = function
-  | Add_stats_of_exec m -> Printf.sprintf "plan Σ(%s)" (describe_mask ctx m)
-  | Wrap_stats e -> Printf.sprintf "wrap Σ(%s)" (Expr.describe ctx.query e)
+(* The one pretty-printer for actions: every rendering (driver trace,
+   flight-recorder events, logs) goes through here. *)
+let pp_action ctx fmt action =
+  match action with
+  | Add_stats_of_exec m ->
+    Format.fprintf fmt "plan Σ(%s)" (describe_mask ctx m)
+  | Wrap_stats e -> Format.fprintf fmt "wrap Σ(%s)" (Expr.describe ctx.query e)
   | Join_exec (m1, m2) ->
-    Printf.sprintf "plan %s ⨝ %s" (describe_mask ctx m1) (describe_mask ctx m2)
+    Format.fprintf fmt "plan %s ⨝ %s" (describe_mask ctx m1)
+      (describe_mask ctx m2)
   | Join_planned (e1, e2) ->
-    Printf.sprintf "combine %s ⨝ %s" (Expr.describe ctx.query e1)
+    Format.fprintf fmt "combine %s ⨝ %s" (Expr.describe ctx.query e1)
       (Expr.describe ctx.query e2)
   | Join_mixed (m, e) ->
-    Printf.sprintf "attach %s ⨝ %s" (describe_mask ctx m)
+    Format.fprintf fmt "attach %s ⨝ %s" (describe_mask ctx m)
       (Expr.describe ctx.query e)
-  | Execute -> "EXECUTE"
+  | Execute -> Format.pp_print_string fmt "EXECUTE"
+
+let describe_action ctx action = Format.asprintf "%a" (pp_action ctx) action

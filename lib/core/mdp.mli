@@ -59,4 +59,12 @@ val executed_masks : Expr.t -> Relset.t list
 val state_key : state -> string
 (** Canonical fingerprint for MCTS chance-node sharing. *)
 
+val pp_action : ctx -> Format.formatter -> action -> unit
+(** The single pretty-printer for actions (["plan Σ(S)"], ["EXECUTE"], …);
+    every textual rendering of an action goes through it. *)
+
 val describe_action : ctx -> action -> string
+(** [Format.asprintf] over {!pp_action}. *)
+
+val describe_mask : ctx -> Relset.t -> string
+(** Pretty form of a materialized mask using instance aliases. *)

@@ -62,12 +62,11 @@ let partner_card t env stats tm =
     in
     Some c
 
-let simulate_execute t (state : Mdp.state) =
+(* Σ-topped plans harden wildcard measurements into [stats], so that
+   costing (and all later planning) sees them. Shared between the EXECUTE
+   simulation and [predict_counts]. *)
+let harden_sigma_into t env stats r_p =
   let q = t.ctx.Mdp.query in
-  let stats = Stats_catalog.copy state.Mdp.stats in
-  let env = env_over t stats in
-  (* Phase 1: Σ-topped plans harden wildcard measurements, so that costing
-     in phase 2 (and all later planning) sees them. *)
   List.iter
     (fun e ->
       if Expr.has_stats e then begin
@@ -86,7 +85,15 @@ let simulate_execute t (state : Mdp.state) =
             end)
           (Query.interesting_terms q (Expr.mask inner))
       end)
-    state.Mdp.r_p;
+    r_p
+
+let simulate_execute t (state : Mdp.state) =
+  let q = t.ctx.Mdp.query in
+  let stats = Stats_catalog.copy state.Mdp.stats in
+  let env = env_over t stats in
+  (* Phase 1: Σ-topped plans harden wildcard measurements, so that costing
+     in phase 2 (and all later planning) sees them. *)
+  harden_sigma_into t env stats state.Mdp.r_p;
   (* Phase 2: cost every planned expression; estimates are memoized into the
      statistics copy, hardening result counts. *)
   let total =
@@ -102,6 +109,30 @@ let simulate_execute t (state : Mdp.state) =
   in
   let r_e = List.sort_uniq compare (new_masks @ state.Mdp.r_e) in
   ({ Mdp.r_p = []; r_e; stats }, -.total)
+
+(* Mirror of [simulate_execute]'s estimation pass that reports, instead of
+   hiding, the sampled cardinalities: every mask whose count the model had
+   to compute (i.e. was not already hardened in S) is returned with its
+   predicted count. These are the plan-time predictions the flight recorder
+   compares against the executor's observations. *)
+let predict_counts t (state : Mdp.state) =
+  let stats = Stats_catalog.copy state.Mdp.stats in
+  let base = env_over t stats in
+  let captured = ref [] in
+  let env =
+    { base with
+      Cost_model.record_count =
+        (fun mask c ->
+          if not (List.mem_assoc mask !captured) then
+            captured := (mask, c) :: !captured;
+          base.Cost_model.record_count mask c) }
+  in
+  harden_sigma_into t env stats state.Mdp.r_p;
+  List.iter
+    (fun e ->
+      ignore (Cost_model.estimate t.ctx.Mdp.query env (Expr.strip_stats e)))
+    state.Mdp.r_p;
+  List.rev !captured
 
 let step t state action =
   match action with

@@ -24,6 +24,15 @@ val create_with : Mdp.ctx -> prior_of:(int -> Prior.t) -> Rng.t -> t
 val step : t -> Mdp.state -> Mdp.action -> Mdp.state * float
 (** One sampled transition. The input state is not mutated. *)
 
+val predict_counts :
+  t -> Mdp.state -> (Monsoon_relalg.Relset.t * float) list
+(** Plan-time cardinality predictions for one EXECUTE of the state's R_p:
+    every mask whose count the model had to compute (not already hardened
+    in S) paired with the predicted count, first computation wins. Runs
+    over a private statistics copy and consumes draws only from this
+    simulator's rng — pass a dedicated simulator (e.g. over a split rng)
+    to keep the planning stream undisturbed. *)
+
 val problem : t -> (Mdp.state, Mdp.action) Monsoon_mcts.Mcts.problem
 (** Package as an MCTS planning problem. *)
 

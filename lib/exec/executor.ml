@@ -48,6 +48,7 @@ type stat_obs = {
   obs_counts : (Relset.t * float) list;
   obs_distincts : (int * float) list;
   obs_stats_cost : float;
+  obs_nodes : (Expr.t * float) list;
 }
 
 let materialized t mask = Hashtbl.find_opt t.store mask
@@ -220,10 +221,13 @@ let execute t expr =
   let stats_cost = ref 0.0 in
   let obs_counts = ref [] in
   let obs_distincts = ref [] in
+  let obs_nodes = ref [] in
   let full = Query.all_mask t.query in
-  let record mask inter =
+  let record e mask inter =
     Hashtbl.replace t.store mask inter;
-    obs_counts := (mask, float_of_int (Intermediate.cardinality inter)) :: !obs_counts
+    let c = float_of_int (Intermediate.cardinality inter) in
+    obs_counts := (mask, c) :: !obs_counts;
+    obs_nodes := (e, c) :: !obs_nodes
   in
   let rec go ~is_root e : Intermediate.t =
     match e with
@@ -241,8 +245,9 @@ let execute t expr =
         match Relset.to_list m with
         | [ i ] ->
           let inter = scan_base t i in
-          obs_counts :=
-            (m, float_of_int (Intermediate.cardinality inter)) :: !obs_counts;
+          let c = float_of_int (Intermediate.cardinality inter) in
+          obs_counts := (m, c) :: !obs_counts;
+          obs_nodes := (e, c) :: !obs_nodes;
           inter
         | _ -> invalid_arg "Executor.execute: unmaterialized intermediate leaf"))
     | Expr.Join (a, b) -> (
@@ -256,7 +261,7 @@ let execute t expr =
         let c = float_of_int (Intermediate.cardinality inter) in
         (* Final result of the complete query is not charged as cost. *)
         if not (is_root && Relset.equal m full) then cost := !cost +. c;
-        record m inter;
+        record e m inter;
         inter)
   in
   (* Attributes reflect whatever was charged, even when the budget runs
@@ -271,7 +276,8 @@ let execute t expr =
     ( !cost,
       { obs_counts = !obs_counts;
         obs_distincts = !obs_distincts;
-        obs_stats_cost = !stats_cost } )
+        obs_stats_cost = !stats_cost;
+        obs_nodes = List.rev !obs_nodes } )
   | exception e ->
     close_attrs ();
     raise e)

@@ -46,6 +46,11 @@ type stat_obs = {
       (** term id → HLL distinct estimate, for Σ-topped expressions *)
   obs_stats_cost : float;
       (** portion of the charged cost due to Σ passes (paper Table 8) *)
+  obs_nodes : (Expr.t * float) list;
+      (** plan node → observed cardinality, one entry per expression this
+          call actually materialized (cache hits excluded), in completion
+          order. The flight recorder joins these against the plan-time
+          predictions to compute per-node q-errors. *)
 }
 
 val execute : t -> Expr.t -> float * stat_obs

@@ -566,6 +566,78 @@ let ablation_prior_spikes profile =
     ~title:"Ablation: foreign-key spikes in the spike-and-slab prior (IMDB subset)"
     ~budget:profile.imdb_budget named
 
+(* --- The flight-recorder entry point (`monsoon explain`) --- *)
+
+let workload_for profile id =
+  match String.lowercase_ascii id with
+  | "table2" | "tpch" ->
+    Some
+      ( Tpch.workload
+          { Tpch.seed = profile.seed; scale = profile.tpch_scale; skew = Tpch.Plain },
+        profile.tpch_budget )
+  | "table3" | "table4" | "table5" | "imdb" ->
+    Some
+      ( Imdb.workload { Imdb.seed = profile.seed; scale = profile.imdb_scale },
+        profile.imdb_budget )
+  | "table6" | "ott" ->
+    Some
+      ( Ott.workload
+          { Ott.seed = profile.seed; scale = profile.ott_scale; domain = 100 },
+        profile.ott_budget )
+  | "table7" | "figure3" | "udf" ->
+    Some
+      ( Udf_bench.workload
+          { Udf_bench.seed = profile.seed;
+            imdb_scale = profile.udf_imdb_scale;
+            tpch_scale = profile.udf_tpch_scale },
+        profile.udf_budget )
+  | _ -> None
+
+let explain profile ~experiment ~query =
+  match workload_for profile experiment with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown experiment %S; explainable: tpch (table2), imdb \
+          (table3/table4/table5), ott (table6), udf (table7/figure3)"
+         experiment)
+  | Some (w, budget) -> (
+    match List.assoc_opt query w.Workload.queries with
+    | None ->
+      Error
+        (Printf.sprintf "unknown query %S in %s; available: %s" query
+           w.Workload.name
+           (String.concat ", " (List.map fst w.Workload.queries)))
+    | Some q ->
+      (* Mirror the Runner's per-(strategy, query) seeding and the Monsoon
+         strategy's size-scaled MCTS effort, so the explained run is the
+         same run an experiment table would have measured. *)
+      let rng = Rng.create (Hashtbl.hash (profile.seed, "Monsoon", query)) in
+      let iterations =
+        let i = profile.monsoon_iterations in
+        if Query.n_rels q >= 7 then i * 3
+        else if Query.n_rels q >= 6 then i * 2
+        else i
+      in
+      let mcts =
+        { (Monsoon_mcts.Mcts.default_config ~rng) with
+          Monsoon_mcts.Mcts.iterations }
+      in
+      let config =
+        { Driver.prior = Prior.spike_and_slab;
+          prior_of = None;
+          known_distincts = [];
+          mcts;
+          budget;
+          max_steps = 200 }
+      in
+      let recorder = Recorder.create () in
+      let _outcome =
+        Driver.run ~telemetry:profile.telemetry ~recorder config
+          w.Workload.catalog q
+      in
+      Ok recorder)
+
 let all =
   [ ("table1", "Sec 2.3 cardinality scenarios", fun _ -> table1 ());
     ("figure1", "the example MDP's strategy costs", fun _ -> figure1 ());

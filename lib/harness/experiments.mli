@@ -66,3 +66,18 @@ val ablation_prior_spikes : profile -> string
 
 val all : (string * string * (profile -> string)) list
 (** (id, description, run) for every experiment, in paper order. *)
+
+val explain :
+  profile ->
+  experiment:string ->
+  query:string ->
+  (Monsoon_telemetry.Recorder.t, string) result
+(** Re-run Monsoon on one query of a benchmark experiment with the decision
+    flight recorder attached, reproducing the exact run the experiment
+    table would have measured (same per-query rng seeding, same size-scaled
+    MCTS effort, same budget). [experiment] names a benchmark-backed
+    experiment ([tpch]/[table2], [imdb]/[table3..5], [ott]/[table6],
+    [udf]/[table7]/[figure3]). [Error] carries a usage message listing
+    valid ids or queries. Render the result with
+    {!Monsoon_telemetry.Explain.report},
+    {!Monsoon_telemetry.Recorder.to_dot} or [to_json]. *)

@@ -20,7 +20,14 @@ type config = {
 let default_config ~rng =
   { iterations = 2000; selection = Uct (sqrt 2.0); rng; max_rollout_steps = 10_000 }
 
-type stats = { chosen_visits : int; chosen_mean : float; root_visits : int }
+type 'a candidate = { cand_action : 'a; cand_visits : int; cand_mean : float }
+
+type 'a stats = {
+  chosen_visits : int;
+  chosen_mean : float;
+  root_visits : int;
+  candidates : 'a candidate list;
+}
 
 type ('s, 'a) node = {
   state : 's;
@@ -189,9 +196,18 @@ let plan ?telemetry cfg p root_state =
     | Some e ->
       Span.set_attr span "chosen_visits" (Span.Int e.e_visits);
       Span.set_attr span "chosen_mean" (Span.Float (edge_mean e));
+      let candidates =
+        List.map
+          (fun e ->
+            { cand_action = e.action;
+              cand_visits = e.e_visits;
+              cand_mean = edge_mean e })
+          root.edges
+      in
       Some
         ( e.action,
           { chosen_visits = e.e_visits;
             chosen_mean = edge_mean e;
-            root_visits = root.visits } ))
+            root_visits = root.visits;
+            candidates } ))
   end

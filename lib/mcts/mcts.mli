@@ -41,17 +41,29 @@ type config = {
 val default_config : rng:Monsoon_util.Rng.t -> config
 (** 2000 iterations, UCT(√2), rollout cap 10_000. *)
 
-type stats = {
+type 'a candidate = {
+  cand_action : 'a;
+  cand_visits : int;
+  cand_mean : float;  (** mean raw (unnormalized) return through the edge *)
+}
+
+type 'a stats = {
   chosen_visits : int;
   chosen_mean : float;  (** mean raw (unnormalized) return of the choice *)
   root_visits : int;
+  candidates : 'a candidate list;
+      (** root statistics of *every* expanded root action, in expansion
+          order — the flight recorder's view of the decision, not just its
+          winner *)
 }
 
 val plan :
   ?telemetry:Monsoon_telemetry.Ctx.t ->
-  config -> ('s, 'a) problem -> 's -> ('a * stats) option
+  config -> ('s, 'a) problem -> 's -> ('a * 'a stats) option
 (** [plan cfg p s] returns the preferred action from [s], or [None] when
-    [s] is terminal.
+    [s] is terminal. The returned stats carry the full root-child
+    statistics ([candidates]) so callers (e.g. the driver's flight
+    recorder) can report why the action won.
 
     With [?telemetry], each call bumps [mcts.plans] / [mcts.iterations] /
     [mcts.expansions] counters, observes per-iteration tree depth in the

@@ -1,0 +1,188 @@
+let num v = Printf.sprintf "%.6g" v
+let opt_num = function None -> "-" | Some v -> num v
+
+let q_cell = function
+  | None -> "-"
+  | Some q -> Printf.sprintf "%.2f" q
+
+let timeline_table r =
+  let rows =
+    List.filter_map
+      (function
+        | Recorder.Decision
+            { step; chosen; legal_actions; root_visits; plan_seconds;
+              candidates; _ } ->
+          let visits, mean =
+            match
+              List.find_opt
+                (fun (c : Recorder.candidate) ->
+                  String.equal c.Recorder.cand_action chosen)
+                candidates
+            with
+            | Some c ->
+              ( string_of_int c.Recorder.cand_visits,
+                num c.Recorder.cand_mean )
+            | None -> ("-", "-")
+          in
+          Some
+            [ string_of_int step; chosen; visits; mean;
+              string_of_int legal_actions; string_of_int root_visits;
+              Printf.sprintf "%.4f" plan_seconds ]
+        | Recorder.Executed { step; cost; timed_out; nodes; _ } ->
+          Some
+            [ string_of_int step;
+              Printf.sprintf "  → materialized %d nodes, cost %s%s"
+                (List.length nodes) (num cost)
+                (if timed_out then " (BUDGET EXHAUSTED)" else "");
+              "-"; "-"; "-"; "-"; "-" ]
+        | _ -> None)
+      (Recorder.events r)
+  in
+  Snapshot.table ~title:"Decision timeline (MDP steps, chosen via MCTS)"
+    ~header:[ "Step"; "Action"; "Visits"; "Mean reward"; "Legal"; "Root"; "Plan s" ]
+    rows
+
+let node_rows nodes =
+  List.map
+    (fun (n : Recorder.exec_node) ->
+      [ String.make (2 * n.Recorder.node_depth) ' ' ^ n.Recorder.node_expr;
+        opt_num n.Recorder.node_predicted;
+        opt_num n.Recorder.node_observed;
+        q_cell n.Recorder.node_q_error ])
+    nodes
+
+let plan_tables r =
+  let tables =
+    List.filter_map
+      (function
+        | Recorder.Executed { step; nodes; cost; timed_out } ->
+          let title =
+            Printf.sprintf "EXECUTE at step %d (cost %s%s)" step (num cost)
+              (if timed_out then "; budget exhausted mid-plan" else "")
+          in
+          Some
+            (Snapshot.table ~title
+               ~header:[ "Plan node"; "Predicted"; "Observed"; "Q-error" ]
+               (node_rows nodes))
+        | _ -> None)
+      (Recorder.events r)
+  in
+  String.concat "\n" tables
+
+let all_nodes r =
+  List.concat_map
+    (function
+      | Recorder.Executed { nodes; _ } -> nodes
+      | _ -> [])
+    (Recorder.events r)
+
+let misestimate_table ?(top = 10) r =
+  (* A node can appear under several planned expressions (e.g. a leaf shared
+     by a Σ plan and a join plan); rank each expression once, at its worst. *)
+  let seen = Hashtbl.create 16 in
+  let ranked =
+    all_nodes r
+    |> List.filter_map (fun (n : Recorder.exec_node) ->
+           Option.map (fun q -> (q, n)) n.Recorder.node_q_error)
+    |> List.stable_sort (fun ((a : float), _) (b, _) -> compare b a)
+    |> List.filter (fun (_, (n : Recorder.exec_node)) ->
+           if Hashtbl.mem seen n.Recorder.node_expr then false
+           else begin
+             Hashtbl.add seen n.Recorder.node_expr ();
+             true
+           end)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  if ranked = [] then ""
+  else
+    Snapshot.table
+      ~title:
+        (Printf.sprintf "Worst cardinality misestimates (top %d by q-error)"
+           (List.length ranked))
+      ~header:[ "Rank"; "Plan node"; "Predicted"; "Observed"; "Q-error" ]
+      (List.mapi
+         (fun i (q, (n : Recorder.exec_node)) ->
+           [ string_of_int (i + 1); n.Recorder.node_expr;
+             opt_num n.Recorder.node_predicted;
+             opt_num n.Recorder.node_observed;
+             Printf.sprintf "%.2f" q ])
+         ranked)
+
+let hardened_table r =
+  let rows =
+    List.filter_map
+      (function
+        | Recorder.Stat_observed { step; subject; pretty; value } ->
+          let kind =
+            match subject with
+            | Recorder.Count _ -> "count"
+            | Recorder.Distinct _ -> "distinct"
+          in
+          Some [ string_of_int step; kind; pretty; num value ]
+        | _ -> None)
+      (Recorder.events r)
+  in
+  if rows = [] then ""
+  else
+    Snapshot.table
+      ~title:
+        (Printf.sprintf "Statistics hardened into the catalog (%d)"
+           (List.length rows))
+      ~header:[ "Step"; "Kind"; "Subject"; "Value" ]
+      rows
+
+let summary r =
+  let start =
+    List.find_map
+      (function
+        | Recorder.Query_start { query; n_rels; _ } -> Some (query, n_rels)
+        | _ -> None)
+      (Recorder.events r)
+  in
+  let finish =
+    List.find_map
+      (function
+        | Recorder.Query_finish { steps; cost; timed_out; result_card } ->
+          Some (steps, cost, timed_out, result_card)
+        | _ -> None)
+      (Recorder.events r)
+  in
+  let qerrs =
+    List.filter_map
+      (fun (n : Recorder.exec_node) -> n.Recorder.node_q_error)
+      (all_nodes r)
+  in
+  let buf = Buffer.create 256 in
+  (match start with
+  | Some (query, n_rels) ->
+    Buffer.add_string buf
+      (Printf.sprintf "EXPLAIN %s (%d relation instances)\n" query n_rels)
+  | None -> Buffer.add_string buf "EXPLAIN (no query_start event)\n");
+  (match finish with
+  | Some (steps, cost, timed_out, result_card) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  %d MDP steps, total cost %s objects, result cardinality %s%s\n"
+         steps (num cost) (num result_card)
+         (if timed_out then " — TIMED OUT (budget exhausted)" else ""))
+  | None -> ());
+  (match qerrs with
+  | [] -> ()
+  | _ ->
+    let n = float_of_int (List.length qerrs) in
+    let mean = List.fold_left ( +. ) 0.0 qerrs /. n in
+    let worst = List.fold_left Float.max 1.0 qerrs in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  cardinality estimation: %d predictions, mean q-error %.2f, worst %.2f\n"
+         (List.length qerrs) mean worst));
+  Buffer.contents buf
+
+let report ?top r =
+  if Recorder.events r = [] then "(empty recording)\n"
+  else
+    let parts =
+      [ summary r; timeline_table r; plan_tables r; misestimate_table ?top r;
+        hardened_table r ]
+    in
+    String.concat "\n" (List.filter (fun s -> s <> "") parts)

@@ -1,0 +1,26 @@
+(** EXPLAIN ANALYZE-style rendering of a recorded query trajectory.
+
+    Takes the events captured by a {!Recorder} and produces the
+    repo-standard ASCII report: a step timeline (one row per MDP decision,
+    with the MCTS statistics of the chosen action), the executed plan trees
+    with predicted / observed cardinality and the derived q-error per
+    node, a worst-misestimate ranking, and the statistics that hardened
+    into the catalog along the way. All tables use {!Snapshot.table}, so
+    the output is visually identical to every other report in the repo. *)
+
+val timeline_table : Recorder.t -> string
+(** One row per {!Recorder.Decision}: step, chosen action, visit count and
+    mean return of the choice, legal-action count, planning seconds. *)
+
+val plan_tables : Recorder.t -> string
+(** One table per {!Recorder.Executed} step: the plan tree (indented by
+    node depth) with predicted / observed / q-error columns. *)
+
+val misestimate_table : ?top:int -> Recorder.t -> string
+(** The [top] (default 10) worst cardinality misestimates across the whole
+    run, ranked by q-error descending. Empty string when no node carries a
+    q-error. *)
+
+val report : ?top:int -> Recorder.t -> string
+(** The full report: summary header, timeline, plan trees, misestimates,
+    and hardened-statistics summary. Empty recorder: a one-line note. *)

@@ -1,0 +1,186 @@
+type candidate = {
+  cand_action : string;
+  cand_visits : int;
+  cand_mean : float;
+}
+
+type exec_node = {
+  node_expr : string;
+  node_mask : int;
+  node_depth : int;
+  node_predicted : float option;
+  node_observed : float option;
+  node_q_error : float option;
+}
+
+type stat_subject = Count of int | Distinct of int
+
+type event =
+  | Query_start of { query : string; n_rels : int; state_key : string }
+  | Decision of {
+      step : int;
+      state_key : string;
+      legal_actions : int;
+      chosen : string;
+      selection : string;
+      root_visits : int;
+      plan_seconds : float;
+      candidates : candidate list;
+    }
+  | Executed of {
+      step : int;
+      nodes : exec_node list;
+      cost : float;
+      timed_out : bool;
+    }
+  | Stat_observed of {
+      step : int;
+      subject : stat_subject;
+      pretty : string;
+      value : float;
+    }
+  | Note of { step : int; message : string }
+  | Query_finish of {
+      steps : int;
+      cost : float;
+      timed_out : bool;
+      result_card : float;
+    }
+
+type t = { recording : bool; mutable rev_events : event list }
+
+let create () = { recording = true; rev_events = [] }
+let null () = { recording = false; rev_events = [] }
+let enabled t = t.recording
+let record t ev = if t.recording then t.rev_events <- ev :: t.rev_events
+let events t = List.rev t.rev_events
+let clear t = t.rev_events <- []
+
+let q_error ~predicted ~observed =
+  let p = Float.max 1.0 predicted and o = Float.max 1.0 observed in
+  Float.max (p /. o) (o /. p)
+
+(* --- JSON export --- *)
+
+let opt_num = function None -> Json.Null | Some v -> Json.Num v
+
+let candidate_json c =
+  Json.Obj
+    [ ("action", Json.Str c.cand_action);
+      ("visits", Json.Num (float_of_int c.cand_visits));
+      ("mean", Json.Num c.cand_mean) ]
+
+let node_json n =
+  Json.Obj
+    [ ("expr", Json.Str n.node_expr);
+      ("mask", Json.Num (float_of_int n.node_mask));
+      ("depth", Json.Num (float_of_int n.node_depth));
+      ("predicted", opt_num n.node_predicted);
+      ("observed", opt_num n.node_observed);
+      ("q_error", opt_num n.node_q_error) ]
+
+let event_json = function
+  | Query_start { query; n_rels; state_key } ->
+    Json.Obj
+      [ ("event", Json.Str "query_start");
+        ("query", Json.Str query);
+        ("n_rels", Json.Num (float_of_int n_rels));
+        ("state", Json.Str state_key) ]
+  | Decision
+      { step; state_key; legal_actions; chosen; selection; root_visits;
+        plan_seconds; candidates } ->
+    Json.Obj
+      [ ("event", Json.Str "decision");
+        ("step", Json.Num (float_of_int step));
+        ("state", Json.Str state_key);
+        ("legal_actions", Json.Num (float_of_int legal_actions));
+        ("chosen", Json.Str chosen);
+        ("selection", Json.Str selection);
+        ("root_visits", Json.Num (float_of_int root_visits));
+        ("plan_seconds", Json.Num plan_seconds);
+        ("candidates", Json.Arr (List.map candidate_json candidates)) ]
+  | Executed { step; nodes; cost; timed_out } ->
+    Json.Obj
+      [ ("event", Json.Str "executed");
+        ("step", Json.Num (float_of_int step));
+        ("cost", Json.Num cost);
+        ("timed_out", Json.Bool timed_out);
+        ("nodes", Json.Arr (List.map node_json nodes)) ]
+  | Stat_observed { step; subject; pretty; value } ->
+    let kind, key =
+      match subject with
+      | Count m -> ("count", float_of_int m)
+      | Distinct tid -> ("distinct", float_of_int tid)
+    in
+    Json.Obj
+      [ ("event", Json.Str "stat_observed");
+        ("step", Json.Num (float_of_int step));
+        ("kind", Json.Str kind);
+        ("key", Json.Num key);
+        ("subject", Json.Str pretty);
+        ("value", Json.Num value) ]
+  | Note { step; message } ->
+    Json.Obj
+      [ ("event", Json.Str "note");
+        ("step", Json.Num (float_of_int step));
+        ("message", Json.Str message) ]
+  | Query_finish { steps; cost; timed_out; result_card } ->
+    Json.Obj
+      [ ("event", Json.Str "query_finish");
+        ("steps", Json.Num (float_of_int steps));
+        ("cost", Json.Num cost);
+        ("timed_out", Json.Bool timed_out);
+        ("result_card", Json.Num result_card) ]
+
+let to_json t = Json.Arr (List.map event_json (events t))
+
+(* --- Graphviz export of the recorded MCTS root decisions --- *)
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph monsoon_decisions {\n";
+  pr "  rankdir=LR;\n";
+  pr "  node [shape=box, fontsize=10, fontname=\"monospace\"];\n";
+  let decisions =
+    List.filter_map (function Decision _ as d -> Some d | _ -> None) (events t)
+  in
+  let chosen_node = ref None in
+  List.iter
+    (function
+      | Decision { step; chosen; root_visits; candidates; _ } ->
+        let root_id = Printf.sprintf "s%d" step in
+        pr "  %s [label=\"step %d\\n%d visits\", style=filled, fillcolor=lightgrey];\n"
+          root_id step root_visits;
+        (* The previous step's chosen action leads to this state. *)
+        (match !chosen_node with
+        | Some prev -> pr "  %s -> %s [style=dashed];\n" prev root_id
+        | None -> ());
+        chosen_node := Some root_id;
+        List.iteri
+          (fun i c ->
+            let cand_id = Printf.sprintf "s%d_c%d" step i in
+            let is_chosen = String.equal c.cand_action chosen in
+            pr "  %s [label=\"%s\\nvisits=%d mean=%.4g\"%s];\n" cand_id
+              (dot_escape c.cand_action) c.cand_visits c.cand_mean
+              (if is_chosen then ", penwidth=2, color=red" else "");
+            pr "  %s -> %s [label=\"%d\"%s];\n" root_id cand_id c.cand_visits
+              (if is_chosen then ", penwidth=2, color=red" else ", color=grey");
+            if is_chosen then chosen_node := Some cand_id)
+          candidates
+      | _ -> ())
+    decisions;
+  pr "}\n";
+  Buffer.contents buf
