@@ -144,7 +144,7 @@ let tests =
         (Staged.stage (fun () ->
              let tel = Ctx.create ~sink:(Span.Memory (Span.memory_buffer ())) () in
              let exec =
-               Monsoon_exec.Executor.create ~telemetry:tel
+               Monsoon_exec.Executor.create ~ctx:tel
                  small_ott.Workload.catalog (snd ott_pair)
                  (Monsoon_exec.Executor.budget 1e7)
              in
@@ -187,11 +187,65 @@ let tests =
                Recorder.record r (Recorder.Note { step = i; message = "x" })
              done)) ]
 
+(* --- Worker-pool scaling: one small suite, sequential vs parallel ---
+
+   Runs the same (strategy, query) grid with jobs=1 and jobs=N and reports
+   the wall-clock ratio plus whether the deterministic projection of the
+   rows matched (it must: Runner seeds every cell independently). On a
+   single-core host the speedup hovers around 1.0 — the interesting number
+   needs >= 4 cores. *)
+
+type suite_speedup = {
+  ss_jobs : int;
+  ss_workers : int;  (* actual pool size (jobs = 0 resolves to core count) *)
+  ss_seq_seconds : float;
+  ss_par_seconds : float;
+  ss_identical : bool;
+}
+
+let row_fingerprint (rows : Runner.row list) =
+  List.map
+    (fun (r : Runner.row) ->
+      ( r.Runner.strategy,
+        List.map
+          (fun (c : Runner.cell) ->
+            ( c.Runner.query,
+              Option.map
+                (fun (o : Strategy.outcome) ->
+                  ( o.Strategy.cost, o.Strategy.timed_out,
+                    o.Strategy.stats_cost, o.Strategy.result_card,
+                    o.Strategy.plan ))
+                c.Runner.outcome ))
+          r.Runner.cells ))
+    rows
+
+let measure_suite_speedup ~jobs =
+  let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
+  let strategies = [ Strategy.defaults; Strategy.greedy; Strategy.sampling ] in
+  let config jobs =
+    { Runner.budget = 1e6;
+      seed = 11;
+      queries = Some [ "tq1"; "tq2"; "tq12" ];
+      jobs }
+  in
+  let rows_seq, seq_s =
+    Timer.time (fun () -> Runner.run_suite (config 1) strategies w)
+  in
+  let rows_par, par_s =
+    Timer.time (fun () -> Runner.run_suite (config jobs) strategies w)
+  in
+  let workers = if jobs < 1 then Pool.default_jobs () else jobs in
+  { ss_jobs = jobs;
+    ss_workers = workers;
+    ss_seq_seconds = seq_s;
+    ss_par_seconds = par_s;
+    ss_identical = row_fingerprint rows_seq = row_fingerprint rows_par }
+
 (* Machine-readable companion to the console table, for tracking kernel
    performance across commits (see EXPERIMENTS.md). *)
 let bench_results_file = "BENCH_results.json"
 
-let write_results_json rows =
+let write_results_json ~jobs rows speedup =
   let entry (name, ns) =
     Json.Obj
       [ ("kernel", Json.Str name);
@@ -200,14 +254,31 @@ let write_results_json rows =
           if Float.is_nan ns || ns <= 0.0 then Json.Null
           else Json.Num (1e9 /. ns) ) ]
   in
+  let speedup_json =
+    Json.Obj
+      [ ("jobs", Json.Num (float_of_int speedup.ss_jobs));
+        ("workers", Json.Num (float_of_int speedup.ss_workers));
+        ("seq_seconds", Json.Num speedup.ss_seq_seconds);
+        ("par_seconds", Json.Num speedup.ss_par_seconds);
+        ( "speedup",
+          if speedup.ss_par_seconds > 0.0 then
+            Json.Num (speedup.ss_seq_seconds /. speedup.ss_par_seconds)
+          else Json.Null );
+        ("identical_rows", Json.Bool speedup.ss_identical) ]
+  in
   let oc = open_out bench_results_file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Json.to_string (Json.Arr (List.map entry rows)));
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [ ("jobs", Json.Num (float_of_int jobs));
+                ("kernels", Json.Arr (List.map entry rows));
+                ("suite_speedup", speedup_json) ]));
       output_char oc '\n');
-  Printf.printf "  (wrote %d kernel results to %s)\n\n" (List.length rows)
-    bench_results_file
+  Printf.printf "  (wrote %d kernel results + suite speedup to %s)\n\n"
+    (List.length rows) bench_results_file
 
 let run_microbenchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -238,7 +309,7 @@ let run_microbenchmarks () =
       Printf.printf "  %-45s %s/run\n" name pretty)
     rows;
   print_newline ();
-  write_results_json rows
+  rows
 
 (* --- Full experiment regeneration --- *)
 
@@ -250,11 +321,54 @@ let profile () =
     Printf.eprintf "unknown MONSOON_PROFILE %S (quick|full); using full\n" other;
     Experiments.full
 
+(* `bench --jobs N` (or MONSOON_JOBS=N) sets the suite parallelism: the
+   speedup measurement's parallel leg and the experiment runs both use it.
+   0 = one domain per recommended core. *)
+let jobs () =
+  let parse where v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Some n
+    | _ ->
+      Printf.eprintf "bench: ignoring bad %s jobs value %S\n" where v;
+      None
+  in
+  let from_argv =
+    let rec scan = function
+      | "--jobs" :: v :: _ | "-j" :: v :: _ -> parse "--jobs" v
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan (Array.to_list Sys.argv)
+  in
+  let from_env =
+    Option.bind (Sys.getenv_opt "MONSOON_JOBS") (parse "MONSOON_JOBS")
+  in
+  match (from_argv, from_env) with
+  | Some n, _ -> n
+  | None, Some n -> n
+  | None, None -> 1
+
 let () =
-  run_microbenchmarks ();
-  let profile = profile () in
-  Printf.printf "=== Experiment reproductions (profile: %s) ===\n\n%!"
-    profile.Experiments.label;
+  let jobs = jobs () in
+  let kernel_rows = run_microbenchmarks () in
+  let speedup =
+    measure_suite_speedup
+      ~jobs:(if jobs <= 1 then Pool.default_jobs () else jobs)
+  in
+  Printf.printf
+    "=== Suite scaling (3 strategies x 3 TPC-H queries) ===\n\
+    \  jobs=1: %.2fs   jobs=%d (%d workers): %.2fs   speedup: %.2fx   rows \
+     identical: %b\n\n"
+    speedup.ss_seq_seconds speedup.ss_jobs speedup.ss_workers
+    speedup.ss_par_seconds
+    (if speedup.ss_par_seconds > 0.0 then
+       speedup.ss_seq_seconds /. speedup.ss_par_seconds
+     else nan)
+    speedup.ss_identical;
+  write_results_json ~jobs kernel_rows speedup;
+  let profile = { (profile ()) with Experiments.jobs } in
+  Printf.printf "=== Experiment reproductions (profile: %s, jobs: %d) ===\n\n%!"
+    profile.Experiments.label profile.Experiments.jobs;
   List.iter
     (fun (id, descr, f) ->
       let t0 = Timer.now () in

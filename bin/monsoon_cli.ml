@@ -94,6 +94,16 @@ let trace_arg =
           "Write completed telemetry spans to $(docv) as JSONL, one span per \
            line, for offline analysis.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run (strategy, query) cells on $(docv) domains (default 1 = \
+           sequential; 0 = one per core). Experiment tables are identical \
+           for every value.")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -128,7 +138,7 @@ let experiment_cmd =
              decision flight recorder attached and print the explain report \
              (see the `explain' command).")
   in
-  let run quick trace metrics explain dot id =
+  let run quick trace metrics explain dot jobs id =
     match find_experiment id with
     | None -> unknown_experiment id
     | Some (_, _, f) ->
@@ -136,7 +146,7 @@ let experiment_cmd =
       let outer =
         with_telemetry ~trace ~keep:false (fun tel _ ->
             let profile =
-              { (profile_of_flag quick) with Experiments.telemetry = tel }
+              { (profile_of_flag quick) with Experiments.ctx = tel; jobs }
             in
             print_string (f profile);
             print_newline ();
@@ -153,14 +163,14 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ quick_flag $ trace_arg $ metrics_arg $ explain_arg $ dot_arg
-      $ id_arg)
+      $ jobs_arg $ id_arg)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run quick trace metrics =
+  let run quick trace metrics jobs =
     with_telemetry ~trace ~keep:false (fun tel _ ->
         let profile =
-          { (profile_of_flag quick) with Experiments.telemetry = tel }
+          { (profile_of_flag quick) with Experiments.ctx = tel; jobs }
         in
         List.iter
           (fun (id, _, f) -> Printf.printf "=== %s ===\n%s\n%!" id (f profile))
@@ -168,7 +178,7 @@ let all_cmd =
         if metrics then print_string (metrics_report tel))
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ quick_flag $ trace_arg $ metrics_arg)
+    Term.(const run $ quick_flag $ trace_arg $ metrics_arg $ jobs_arg)
 
 (* `profile table8-quick' is shorthand for `profile --quick table8'. *)
 let split_profile_suffix id =
@@ -195,7 +205,7 @@ let profile_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run quick trace id =
+  let run quick trace jobs id =
     let base, forced = split_profile_suffix id in
     match find_experiment base with
     | None -> unknown_experiment base
@@ -204,9 +214,11 @@ let profile_cmd =
           let p =
             match forced with Some p -> p | None -> profile_of_flag quick
           in
-          let profile = { p with Experiments.telemetry = tel } in
+          let profile = { p with Experiments.ctx = tel; jobs } in
           print_string (f profile);
           print_newline ();
+          Printf.printf "jobs: %d%s\n\n" profile.Experiments.jobs
+            (if profile.Experiments.jobs = 0 then " (all cores)" else "");
           let spans = Span.buffer_spans (Option.get buf) in
           print_string
             (Snapshot.breakdown_table
@@ -220,7 +232,7 @@ let profile_cmd =
             trace)
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ quick_flag $ trace_arg $ id_arg)
+    Term.(const run $ quick_flag $ trace_arg $ jobs_arg $ id_arg)
 
 let explain_cmd =
   let doc =

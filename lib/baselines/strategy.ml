@@ -17,7 +17,7 @@ type t = {
   name : string;
   applicable : Query.t -> bool;
   run :
-    ?telemetry:Monsoon_telemetry.Ctx.t ->
+    ?ctx:Monsoon_telemetry.Ctx.t ->
     rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
 }
 
@@ -25,9 +25,9 @@ let always_applicable _ = true
 
 (* Execute a chosen plan, charging [stats_cost] up front against the
    budget. *)
-let execute_plan ?telemetry ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
+let execute_plan ?ctx ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
   let bud = Executor.budget (budget -. stats_cost) in
-  let exec = Executor.create ?telemetry catalog q bud in
+  let exec = Executor.create ?ctx catalog q bud in
   match Executor.execute exec plan with
   | exception Executor.Timeout ->
     { cost = budget;
@@ -56,13 +56,13 @@ let classical name ~applicable source =
   { name;
     applicable;
     run =
-      (fun ?telemetry ~rng ~budget catalog q ->
+      (fun ?ctx ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let (src : Stats_source.t), src_time =
           Timer.time (fun () -> source rng catalog q)
         in
         let plan, dp_time = Timer.time (fun () -> Planner.best_plan q src.Stats_source.env) in
-        execute_plan ?telemetry ~t0 ~plan_time:(src_time +. dp_time)
+        execute_plan ?ctx ~t0 ~plan_time:(src_time +. dp_time)
           ~stats_cost:src.Stats_source.acquisition_cost ~budget catalog q plan) }
 
 let postgres =
@@ -118,17 +118,17 @@ let greedy =
   { name = "Greedy";
     applicable = always_applicable;
     run =
-      (fun ?telemetry ~rng:_ ~budget catalog q ->
+      (fun ?ctx ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
         let plan, plan_time = Timer.time (fun () -> greedy_plan catalog q) in
-        execute_plan ?telemetry ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q
+        execute_plan ?ctx ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q
           plan) }
 
 let skinner =
   { name = "SkinnerDB";
     applicable = always_applicable;
     run =
-      (fun ?telemetry:_ ~rng ~budget catalog q ->
+      (fun ?ctx:_ ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let out = Skinner.run (Skinner.default_config ~rng) ~budget catalog q in
         { cost = out.Skinner.cost;
@@ -140,11 +140,11 @@ let skinner =
           plan = Printf.sprintf "%d episodes" out.Skinner.episodes }) }
 
 let monsoon ?(iterations = 2000) ?(scale_with_size = true)
-    ?(selection = Monsoon_mcts.Mcts.Uct (sqrt 2.0)) prior =
+    ?(selection = Monsoon_mcts.Mcts.Uct (sqrt 2.0)) ?(mcts_workers = 1) prior =
   { name = "Monsoon";
     applicable = always_applicable;
     run =
-      (fun ?telemetry ~rng ~budget catalog q ->
+      (fun ?ctx ~rng ~budget catalog q ->
         (* MCTS effort scales with the size of the join-order problem: the
            action space roughly squares with the instance count. *)
         let iterations =
@@ -163,10 +163,11 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
             prior_of = None;
             known_distincts = [];
             mcts;
+            mcts_workers;
             budget;
             max_steps = 200 }
         in
-        let out = Monsoon_core.Driver.run ?telemetry config catalog q in
+        let out = Monsoon_core.Driver.run ?ctx config catalog q in
         { cost = out.Monsoon_core.Driver.cost;
           timed_out = out.Monsoon_core.Driver.timed_out;
           wall = out.Monsoon_core.Driver.wall;
@@ -179,9 +180,9 @@ let fixed_plan ~name plan_of =
   { name;
     applicable = always_applicable;
     run =
-      (fun ?telemetry ~rng:_ ~budget catalog q ->
+      (fun ?ctx ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
-        execute_plan ?telemetry ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget
+        execute_plan ?ctx ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget
           catalog q (plan_of q)) }
 
 let standard_seven prior =

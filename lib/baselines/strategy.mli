@@ -22,11 +22,11 @@ type t = {
       (** the paper drops some options on some benchmarks (e.g. On-Demand
           with multi-instance UDFs) *)
   run :
-    ?telemetry:Monsoon_telemetry.Ctx.t ->
+    ?ctx:Monsoon_telemetry.Ctx.t ->
     rng:Monsoon_util.Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
-      (** [?telemetry] threads a metric/span context into the executor (and,
-          for Monsoon, the driver and MCTS); omitting it keeps the strategy
-          silent. *)
+      (** [?ctx] threads the observability context (metrics, spans,
+          recorder) into the executor — and, for Monsoon, the driver and
+          MCTS; omitting it keeps the strategy silent. *)
 }
 
 val postgres : t
@@ -43,19 +43,21 @@ val monsoon :
   ?iterations:int ->
   ?scale_with_size:bool ->
   ?selection:Monsoon_mcts.Mcts.selection ->
+  ?mcts_workers:int ->
   Monsoon_stats.Prior.t ->
   t
 (** The Monsoon optimizer with the given prior (2000 MCTS iterations and
     UCT(√2) by default). [scale_with_size] (default true) multiplies the
     iteration budget for 6- and 7-instance queries, whose action spaces are
-    much larger. *)
+    much larger. [mcts_workers] (default 1) turns on root-parallel planning
+    ({!Monsoon_core.Driver.config.mcts_workers}). *)
 
 val fixed_plan : name:string -> (Query.t -> Expr.t) -> t
 (** Execute a externally supplied plan (the OTT benchmark's hand-written
     plans). *)
 
 val execute_plan :
-  ?telemetry:Monsoon_telemetry.Ctx.t ->
+  ?ctx:Monsoon_telemetry.Ctx.t ->
   t0:float ->
   plan_time:float ->
   stats_cost:float ->

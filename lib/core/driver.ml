@@ -9,6 +9,7 @@ type config = {
   prior_of : (int -> Prior.t) option;
   known_distincts : (int * float) list;
   mcts : Monsoon_mcts.Mcts.config;
+  mcts_workers : int;
   budget : float;
   max_steps : int;
 }
@@ -18,6 +19,7 @@ let default_config ~rng =
     prior_of = None;
     known_distincts = [];
     mcts = Monsoon_mcts.Mcts.default_config ~rng;
+    mcts_workers = 1;
     budget = 5e7;
     max_steps = 200 }
 
@@ -101,32 +103,30 @@ let exec_nodes query stats ~predictions ~obs_nodes expr =
   in
   List.rev (go 0 expr [])
 
-let run ?telemetry ?recorder config catalog query =
-  let tel = match telemetry with Some t -> t | None -> Ctx.null () in
-  let recorder = match recorder with Some r -> r | None -> Recorder.null () in
-  (* The Table-8 component breakdown is derived from the shared telemetry
-     registry rather than private accumulators. Counters persist across
-     queries on a shared context, so each run reads deltas against the
-     values captured here. *)
+let run ?ctx config catalog query =
+  let tel = match ctx with Some t -> t | None -> Ctx.null () in
+  let recorder = Ctx.recorder tel in
+  (* The Table-8 component breakdown comes from per-run accumulators; the
+     shared registry counters are incremented in lockstep for dashboards
+     but never read back, so concurrent runs on one context (the parallel
+     harness) cannot bleed into each other's outcomes. *)
   let c_mcts = Ctx.counter tel "driver.mcts_seconds" in
   let c_replans = Ctx.counter tel "driver.replans" in
   let c_executes = Ctx.counter tel "driver.executes" in
   let c_steps = Ctx.counter tel "driver.steps" in
-  let c_sigma = Ctx.counter tel "exec.sigma_objects" in
   let h_qerr = Ctx.histogram tel "driver.q_error" in
   let h_replans = Ctx.histogram tel "driver.replans_per_query" in
-  let base_mcts = Metric.Counter.value c_mcts in
-  let base_replans = Metric.Counter.value c_replans in
-  let base_executes = Metric.Counter.value c_executes in
-  let base_steps = Metric.Counter.value c_steps in
-  let base_sigma = Metric.Counter.value c_sigma in
+  let run_mcts = ref 0.0 in
+  let run_replans = ref 0 in
+  let run_executes = ref 0 in
+  let run_steps = ref 0 in
   Ctx.with_span tel "driver.run"
     ~attrs:[ ("query", Span.Str (Query.name query)) ]
   @@ fun run_span ->
   let t0 = Timer.now () in
   let ctx = Mdp.make_ctx catalog query in
   let exec =
-    Executor.create ~telemetry:tel catalog query (Executor.budget config.budget)
+    Executor.create ~ctx:tel catalog query (Executor.budget config.budget)
   in
   let total_cost = ref 0.0 in
   let trace = ref [] in
@@ -147,15 +147,10 @@ let run ?telemetry ?recorder config catalog query =
         | None -> 0.0
     in
     ignore state;
-    let stats_cost = Metric.Counter.value c_sigma -. base_sigma in
-    let executes =
-      int_of_float (Metric.Counter.value c_executes -. base_executes)
-    in
-    let steps_taken =
-      int_of_float (Metric.Counter.value c_steps -. base_steps)
-    in
-    Metric.Histogram.observe h_replans
-      (Metric.Counter.value c_replans -. base_replans);
+    let stats_cost = Executor.sigma_objects exec in
+    let executes = !run_executes in
+    let steps_taken = !run_steps in
+    Metric.Histogram.observe h_replans (float_of_int !run_replans);
     Recorder.record recorder
       (Recorder.Query_finish
          { steps = steps_taken; cost = !total_cost; timed_out; result_card });
@@ -165,7 +160,7 @@ let run ?telemetry ?recorder config catalog query =
     { cost = !total_cost;
       timed_out;
       wall = Timer.now () -. t0;
-      mcts_time = Metric.Counter.value c_mcts -. base_mcts;
+      mcts_time = !run_mcts;
       stats_cost;
       exec_cost = !total_cost -. stats_cost;
       executes;
@@ -217,14 +212,19 @@ let run ?telemetry ?recorder config catalog query =
       else begin
         let planned, mcts_dt =
           Timer.time (fun () ->
-              Monsoon_mcts.Mcts.plan ~telemetry:tel config.mcts problem state)
+              Monsoon_mcts.Mcts.plan ~ctx:tel ~workers:config.mcts_workers
+                ~problem_of:(fun rng -> Simulator.problem (make_sim rng))
+                config.mcts problem state)
         in
         Metric.Counter.add c_mcts mcts_dt;
         Metric.Counter.inc c_replans;
+        run_mcts := !run_mcts +. mcts_dt;
+        incr run_replans;
         match planned with
         | None -> finish ~timed_out:false state
         | Some (action, mstats) ->
           Metric.Counter.inc c_steps;
+          incr run_steps;
           trace := Mdp.describe_action ctx action :: !trace;
           if Recorder.enabled recorder then
             Recorder.record recorder
@@ -249,6 +249,7 @@ let run ?telemetry ?recorder config catalog query =
           (match action with
           | Mdp.Execute -> (
             Metric.Counter.inc c_executes;
+            incr run_executes;
             let predictions = Simulator.predict_counts predictor state in
             let all_obs_nodes = ref [] in
             match

@@ -22,12 +22,18 @@ type config = {
       (** statistics available up front (term id → distinct count): the
           paper initializes the problem with any known statistics *)
   mcts : Monsoon_mcts.Mcts.config;
+  mcts_workers : int;
+      (** root-parallel MCTS width: [> 1] plans each step with that many
+          independent trees on separate domains (each on its own simulator
+          replica and split RNG stream), pooling root statistics before the
+          choice. 1 = sequential planning (the default). *)
   budget : float;  (** tuple budget standing in for the paper's 20-min timeout *)
   max_steps : int;  (** safety valve on the number of MDP actions *)
 }
 
 val default_config : rng:Monsoon_util.Rng.t -> config
-(** Spike-and-slab prior, default MCTS, budget 5e7, 200 steps. *)
+(** Spike-and-slab prior, default MCTS, 1 MCTS worker, budget 5e7,
+    200 steps. *)
 
 type outcome = {
   cost : float;  (** intermediate objects charged (the paper's cost) *)
@@ -42,10 +48,9 @@ type outcome = {
 }
 
 val run :
-  ?telemetry:Monsoon_telemetry.Ctx.t ->
-  ?recorder:Monsoon_telemetry.Recorder.t ->
+  ?ctx:Monsoon_telemetry.Ctx.t ->
   config -> Catalog.t -> Query.t -> outcome
-(** With [?telemetry], the run emits a [driver.run] root span (with
+(** With [?ctx], the run emits a [driver.run] root span (with
     [query] / [timed_out] / [cost] / [executes] attributes), a
     [driver.execute] span per EXECUTE step, and bumps [driver.replans] /
     [driver.executes] / [driver.mcts_seconds] / [driver.steps] counters
@@ -56,8 +61,9 @@ val run :
     counter deltas over the run, so a context shared across queries stays
     consistent.
 
-    With [?recorder] (an enabled
-    {!Monsoon_telemetry.Recorder.t}), the run additionally captures its
+    When the context carries an enabled {!Monsoon_telemetry.Recorder.t}
+    (attach one with {!Monsoon_telemetry.Ctx.with_recorder}), the run
+    additionally captures its
     full decision trajectory: [Query_start], one [Decision] per chosen
     action (state fingerprint, legal-action count, MCTS root statistics of
     every candidate), one [Executed] per EXECUTE with per-node predicted vs

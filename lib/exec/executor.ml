@@ -26,12 +26,13 @@ type t = {
   mutable bud : budget;
   store : (Relset.t, Intermediate.t) Hashtbl.t;
   mutable produced : float;
+  mutable sigma_total : float;
   tel : Ctx.t;
   m : counters;
 }
 
-let create ?telemetry catalog query bud =
-  let tel = match telemetry with Some t -> t | None -> Ctx.null () in
+let create ?ctx catalog query bud =
+  let tel = match ctx with Some t -> t | None -> Ctx.null () in
   let m =
     { m_scanned = Ctx.counter tel "exec.tuples_scanned";
       m_built = Ctx.counter tel "exec.tuples_built";
@@ -40,7 +41,14 @@ let create ?telemetry catalog query bud =
       m_sigma = Ctx.counter tel "exec.sigma_objects";
       m_budget = Ctx.counter tel "exec.budget_spent" }
   in
-  { catalog; query; bud; store = Hashtbl.create 16; produced = 0.0; tel; m }
+  { catalog;
+    query;
+    bud;
+    store = Hashtbl.create 16;
+    produced = 0.0;
+    sigma_total = 0.0;
+    tel;
+    m }
 
 let set_budget t bud = t.bud <- bud
 
@@ -54,6 +62,8 @@ type stat_obs = {
 let materialized t mask = Hashtbl.find_opt t.store mask
 
 let total_produced t = t.produced
+
+let sigma_objects t = t.sigma_total
 
 let spend t n =
   t.produced <- t.produced +. n;
@@ -204,6 +214,7 @@ let stats_pass t (inter : Intermediate.t) =
     (fun _ ->
       spend t (float_of_int card);
       Metric.Counter.add t.m.m_sigma (float_of_int card);
+      t.sigma_total <- t.sigma_total +. float_of_int card;
       let terms = Query.interesting_terms t.query inter.Intermediate.mask in
       List.map
         (fun tm ->

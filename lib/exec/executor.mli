@@ -28,8 +28,8 @@ type t
     multiple EXECUTE steps of a Monsoon run. *)
 
 val create :
-  ?telemetry:Monsoon_telemetry.Ctx.t -> Catalog.t -> Query.t -> budget -> t
-(** With [?telemetry], per-operator tuple counters land in the context's
+  ?ctx:Monsoon_telemetry.Ctx.t -> Catalog.t -> Query.t -> budget -> t
+(** With [?ctx], per-operator tuple counters land in the context's
     registry ([exec.tuples_scanned]/[_built]/[_probed]/[_emitted],
     [exec.sigma_objects], [exec.budget_spent]) and every [execute] call and
     Σ pass emits a span ([exec.execute] with [objects]/[sigma_objects]
@@ -65,3 +65,10 @@ val result_rows : t -> Expr.t -> Table.row array
 
 val total_produced : t -> float
 (** Total tuples emitted by this context so far (diagnostics). *)
+
+val sigma_objects : t -> float
+(** Total objects processed by Σ passes over this context's lifetime,
+    including passes cut short by {!Timeout}. Unlike the shared
+    [exec.sigma_objects] counter this is private to the instance, so it
+    stays exact when many executors share one telemetry context across
+    domains. *)

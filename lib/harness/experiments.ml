@@ -21,7 +21,8 @@ type profile = {
   monsoon_iterations : int;
   tpch_queries : string list option;
   imdb_queries : string list option;
-  telemetry : Ctx.t;
+  jobs : int;  (* domains for the (strategy, query) grid; 0 = all cores *)
+  ctx : Ctx.t;
 }
 
 let quick =
@@ -39,7 +40,8 @@ let quick =
     monsoon_iterations = 150;
     tpch_queries = Some [ "tq1"; "tq2"; "tq9"; "tq12" ];
     imdb_queries = Some [ "iq1"; "iq7"; "iq13"; "iq22"; "iq31"; "iq46"; "iq51"; "iq58" ];
-    telemetry = Ctx.null () }
+    jobs = 1;
+    ctx = Ctx.null () }
 
 let full =
   { label = "full";
@@ -58,7 +60,8 @@ let full =
     monsoon_iterations = 400;
     tpch_queries = None;
     imdb_queries = None;
-    telemetry = Ctx.null () }
+    jobs = 1;
+    ctx = Ctx.null () }
 
 (* --- Shared pieces of the Sec 2.3 walkthrough (Table 1, Figure 1) --- *)
 
@@ -213,11 +216,8 @@ let monsoon_strategy profile prior =
   Strategy.monsoon ~iterations:profile.monsoon_iterations prior
 
 let run_workload profile ~budget ?queries strategies workload =
-  Runner.run_suite
-    { Runner.budget;
-      seed = profile.seed;
-      queries;
-      telemetry = profile.telemetry }
+  Runner.run_suite ~ctx:profile.ctx
+    { Runner.budget; seed = profile.seed; queries; jobs = profile.jobs }
     strategies workload
 
 let table2 profile =
@@ -423,8 +423,8 @@ let table8 profile =
     let buf = Span.memory_buffer () in
     let tel = Ctx.create ~sink:(Span.Memory buf) () in
     let rows =
-      Runner.run_suite
-        { Runner.budget; seed = profile.seed; queries; telemetry = tel }
+      Runner.run_suite ~ctx:tel
+        { Runner.budget; seed = profile.seed; queries; jobs = profile.jobs }
         [ monsoon ] w
     in
     match rows with
@@ -612,7 +612,9 @@ let explain profile ~experiment ~query =
       (* Mirror the Runner's per-(strategy, query) seeding and the Monsoon
          strategy's size-scaled MCTS effort, so the explained run is the
          same run an experiment table would have measured. *)
-      let rng = Rng.create (Hashtbl.hash (profile.seed, "Monsoon", query)) in
+      let rng =
+        Runner.cell_rng ~seed:profile.seed ~strategy:"Monsoon" ~query
+      in
       let iterations =
         let i = profile.monsoon_iterations in
         if Query.n_rels q >= 7 then i * 3
@@ -628,13 +630,15 @@ let explain profile ~experiment ~query =
           prior_of = None;
           known_distincts = [];
           mcts;
+          mcts_workers = 1;
           budget;
           max_steps = 200 }
       in
       let recorder = Recorder.create () in
       let _outcome =
-        Driver.run ~telemetry:profile.telemetry ~recorder config
-          w.Workload.catalog q
+        Driver.run
+          ~ctx:(Ctx.with_recorder profile.ctx recorder)
+          config w.Workload.catalog q
       in
       Ok recorder)
 

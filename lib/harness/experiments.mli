@@ -19,7 +19,12 @@ type profile = {
   monsoon_iterations : int;
   tpch_queries : string list option;  (** Table 2 subset; [None] = all 12 *)
   imdb_queries : string list option;  (** [None] = all 60 *)
-  telemetry : Monsoon_telemetry.Ctx.t;
+  jobs : int;
+      (** domains running (strategy, query) cells per suite
+          ({!Runner.config.jobs}): 1 = sequential (the presets), [0] = one
+          per recommended core. Table values are identical for every
+          setting. *)
+  ctx : Monsoon_telemetry.Ctx.t;
       (** threaded through every suite run (spans, counters); the presets
           use a silent Null-sink context — override with a record update to
           trace an experiment *)

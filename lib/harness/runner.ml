@@ -7,8 +7,17 @@ type config = {
   budget : float;
   seed : int;
   queries : string list option;
-  telemetry : Ctx.t;
+  jobs : int;
 }
+
+let default_config = { budget = 5e7; seed = 42; queries = None; jobs = 1 }
+
+(* A fresh deterministic stream per (strategy, query) cell. The split
+   decouples the stream from the raw hash seed, and — because each cell's
+   rng derives only from (seed, strategy, query) — makes the suite's
+   results independent of the order and the parallelism cells run with. *)
+let cell_rng ~seed ~strategy ~query =
+  Rng.split (Rng.create (Hashtbl.hash (seed, strategy, query)))
 
 type cell = { query : string; outcome : Strategy.outcome option }
 type row = { strategy : string; cells : cell list }
@@ -19,40 +28,58 @@ let selected_queries config (w : Workload.t) =
   | Some names ->
     List.map (fun n -> (n, Workload.find_query w n)) names
 
-let run_suite config strategies (w : Workload.t) =
+let run_suite ?ctx config strategies (w : Workload.t) =
+  let tel = match ctx with Some t -> t | None -> Ctx.null () in
   let queries = selected_queries config w in
-  List.map
-    (fun (s : Strategy.t) ->
-      let cells =
-        List.map
-          (fun (qname, q) ->
-            if not (s.Strategy.applicable q) then { query = qname; outcome = None }
-            else begin
-              (* A fresh deterministic stream per (strategy, query). *)
-              let rng =
-                Rng.create (Hashtbl.hash (config.seed, s.Strategy.name, qname))
-              in
-              let outcome =
-                Ctx.with_span config.telemetry "query"
-                  ~attrs:
-                    [ ("strategy", Span.Str s.Strategy.name);
-                      ("query", Span.Str qname) ]
-                @@ fun span ->
-                let o =
-                  s.Strategy.run ~telemetry:config.telemetry ~rng
-                    ~budget:config.budget w.Workload.catalog q
-                in
-                Span.set_attr span "cost" (Span.Float o.Strategy.cost);
-                Span.set_attr span "timed_out"
-                  (Span.Bool o.Strategy.timed_out);
-                o
-              in
-              { query = qname; outcome = Some outcome }
-            end)
-          queries
+  let run_cell ((s : Strategy.t), qname, q) =
+    if not (s.Strategy.applicable q) then { query = qname; outcome = None }
+    else begin
+      let rng =
+        cell_rng ~seed:config.seed ~strategy:s.Strategy.name ~query:qname
       in
-      { strategy = s.Strategy.name; cells })
-    strategies
+      let outcome =
+        Ctx.with_span tel "query"
+          ~attrs:
+            [ ("strategy", Span.Str s.Strategy.name);
+              ("query", Span.Str qname) ]
+        @@ fun span ->
+        let o =
+          s.Strategy.run ~ctx:tel ~rng ~budget:config.budget
+            w.Workload.catalog q
+        in
+        Span.set_attr span "cost" (Span.Float o.Strategy.cost);
+        Span.set_attr span "timed_out" (Span.Bool o.Strategy.timed_out);
+        o
+      in
+      { query = qname; outcome = Some outcome }
+    end
+  in
+  (* Cells are independent (catalog and queries are read-only during runs,
+     every per-cell rng is derived above), so the flattened strategy-major
+     cell list can fan out across a domain pool. Sequential and parallel
+     runs produce the same cells in the same order. *)
+  let tasks =
+    List.concat_map
+      (fun (s : Strategy.t) -> List.map (fun (qn, q) -> (s, qn, q)) queries)
+      strategies
+  in
+  let cells =
+    if config.jobs = 1 then List.map run_cell tasks
+    else begin
+      let n = if config.jobs < 1 then Pool.default_jobs () else config.jobs in
+      Pool.with_pool n (fun pool -> Pool.map pool run_cell tasks)
+    end
+  in
+  let per_row = List.length queries in
+  let rec chunk cells strategies =
+    match strategies with
+    | [] -> []
+    | (s : Strategy.t) :: rest ->
+      let row_cells = List.filteri (fun i _ -> i < per_row) cells in
+      let remainder = List.filteri (fun i _ -> i >= per_row) cells in
+      { strategy = s.Strategy.name; cells = row_cells } :: chunk remainder rest
+  in
+  chunk cells strategies
 
 type agg = {
   agg_name : string;

@@ -9,12 +9,23 @@ type config = {
       (** tuple budget per (strategy, query) — the timeout stand-in *)
   seed : int;
   queries : string list option;  (** restrict the suite; [None] = all *)
-  telemetry : Monsoon_telemetry.Ctx.t;
-      (** threaded into every strategy run; each (strategy, query) cell
-          executes under a ["query"] root span carrying [strategy] /
-          [query] / [cost] / [timed_out] attributes. Use
-          [Monsoon_telemetry.Ctx.null ()] to run silently. *)
+  jobs : int;
+      (** domains running (strategy, query) cells: 1 = in-process
+          sequential (the default), [n > 1] = a pool of [n] domains, [0] =
+          one domain per recommended core
+          ({!Monsoon_util.Pool.default_jobs}). Results are identical for
+          every value — each cell's RNG derives only from
+          [(seed, strategy, query)] (see {!cell_rng}). *)
 }
+
+val default_config : config
+(** Budget 5e7, seed 42, all queries, [jobs = 1]. *)
+
+val cell_rng :
+  seed:int -> strategy:string -> query:string -> Monsoon_util.Rng.t
+(** The deterministic per-cell stream [run_suite] hands each
+    (strategy, query) run. Exposed so out-of-suite reruns (e.g. the
+    EXPLAIN entry point) can reproduce a cell exactly. *)
 
 type cell = {
   query : string;
@@ -23,10 +34,19 @@ type cell = {
 
 type row = { strategy : string; cells : cell list }
 
-val run_suite : config -> Strategy.t list -> Workload.t -> row list
+val run_suite :
+  ?ctx:Monsoon_telemetry.Ctx.t ->
+  config -> Strategy.t list -> Workload.t -> row list
 (** One row per strategy, one cell per query (in suite order). The
     hand-written plans, when the workload has them, can be included by
-    adding a {!Strategy.fixed_plan} to the list. *)
+    adding a {!Strategy.fixed_plan} to the list.
+
+    With [?ctx], the context is threaded into every strategy run and each
+    (strategy, query) cell executes under a ["query"] root span carrying
+    [strategy] / [query] / [cost] / [timed_out] attributes; with
+    [config.jobs > 1] cells run concurrently, so the context's metrics and
+    spans must be (and are) domain-safe — only span ordering varies between
+    [jobs] settings, never the returned rows. *)
 
 type agg = {
   agg_name : string;

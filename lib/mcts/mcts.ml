@@ -94,90 +94,169 @@ let select_eps cfg ~progress node =
       None node.edges
     |> Option.get
 
-let plan ?telemetry cfg p root_state =
+(* One complete tree search: [cfg.iterations] simulations from a fresh root.
+   Returns the root node and the expansion count. [observe_depth] receives
+   the deepest tree level of each iteration (it must be domain-safe — the
+   shared histogram is). *)
+let search cfg p root_state ~observe_depth =
+  let root = make_node p root_state in
+  let expansions = ref 0 in
+  let depth_reached = ref 0 in
+  (* Global return bounds for [0,1] normalization of the exploitation
+     term, as the paper prescribes. *)
+  let gmin = ref infinity and gmax = ref neg_infinity in
+  let observe g =
+    if g < !gmin then gmin := g;
+    if g > !gmax then gmax := g
+  in
+  let norm v =
+    if !gmax -. !gmin < 1e-12 then 0.5 else (v -. !gmin) /. (!gmax -. !gmin)
+  in
+  let child_of edge state' =
+    let k = p.key state' in
+    match Hashtbl.find_opt edge.children k with
+    | Some n -> n
+    | None ->
+      let n = make_node p state' in
+      Hashtbl.replace edge.children k n;
+      n
+  in
+  let backup node edge g =
+    node.visits <- node.visits + 1;
+    edge.e_visits <- edge.e_visits + 1;
+    edge.e_total <- edge.e_total +. g
+  in
+  let rec simulate ~progress node depth =
+    if depth > !depth_reached then depth_reached := depth;
+    if p.is_terminal node.state || depth >= cfg.max_rollout_steps then 0.0
+    else
+      match node.untried with
+      | a :: rest ->
+        (* Expansion: try one unvisited action, then roll out. *)
+        node.untried <- rest;
+        incr expansions;
+        let edge = { action = a; e_visits = 0; e_total = 0.0; children = Hashtbl.create 4 } in
+        node.edges <- node.edges @ [ edge ];
+        let state', r = p.step node.state a in
+        let child = child_of edge state' in
+        let g = r +. rollout cfg p state' in
+        ignore child;
+        backup node edge g;
+        g
+      | [] ->
+        if node.edges = [] then 0.0  (* dead end: no legal actions *)
+        else begin
+          let edge =
+            match cfg.selection with
+            | Uct w -> select_uct w ~norm node
+            | Epsilon_greedy -> select_eps cfg ~progress node
+          in
+          let state', r = p.step node.state edge.action in
+          let child = child_of edge state' in
+          let g = r +. simulate ~progress child (depth + 1) in
+          backup node edge g;
+          g
+        end
+  in
+  for i = 0 to cfg.iterations - 1 do
+    let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
+    depth_reached := 0;
+    let g = simulate ~progress root 0 in
+    observe_depth (float_of_int !depth_reached);
+    observe g
+  done;
+  (root, !expansions)
+
+(* Root statistics detached from the (mutable, tree-owning) nodes, so trees
+   built in worker domains can be summarized after the domains join. *)
+type 'a root_edge = { re_action : 'a; re_visits : int; re_total : float }
+
+let re_mean e =
+  if e.re_visits = 0 then 0.0 else e.re_total /. float_of_int e.re_visits
+
+let root_edges root =
+  List.map
+    (fun e -> { re_action = e.action; re_visits = e.e_visits; re_total = e.e_total })
+    root.edges
+
+(* Root-parallel merge: pool visit counts and return totals of the same
+   action across trees, keeping first-seen (expansion) order. Actions are
+   compared structurally. *)
+let merge_root_edges per_tree =
+  let merged = ref [] in
+  List.iter
+    (fun edges ->
+      List.iter
+        (fun e ->
+          match List.find_opt (fun m -> m.re_action = e.re_action) !merged with
+          | Some m ->
+            merged :=
+              List.map
+                (fun m' ->
+                  if m' == m then
+                    { m' with
+                      re_visits = m'.re_visits + e.re_visits;
+                      re_total = m'.re_total +. e.re_total }
+                  else m')
+                !merged
+          | None -> merged := !merged @ [ e ])
+        edges)
+    per_tree;
+  !merged
+
+let plan ?ctx ?(workers = 1) ?problem_of cfg p root_state =
   if p.is_terminal root_state then None
   else begin
     let tel =
-      match telemetry with Some t -> t | None -> Monsoon_telemetry.Ctx.null ()
+      match ctx with Some t -> t | None -> Monsoon_telemetry.Ctx.null ()
     in
     let open Monsoon_telemetry in
     let c_plans = Ctx.counter tel "mcts.plans" in
     let c_iterations = Ctx.counter tel "mcts.iterations" in
     let c_expansions = Ctx.counter tel "mcts.expansions" in
     let h_depth = Ctx.histogram tel "mcts.tree_depth" in
-    let expansions = ref 0 in
-    let depth_reached = ref 0 in
+    let observe_depth d = Metric.Histogram.observe h_depth d in
     Ctx.with_span tel "mcts.plan" (fun span ->
-    let root = make_node p root_state in
-    (* Global return bounds for [0,1] normalization of the exploitation
-       term, as the paper prescribes. *)
-    let gmin = ref infinity and gmax = ref neg_infinity in
-    let observe g =
-      if g < !gmin then gmin := g;
-      if g > !gmax then gmax := g
+    let edges, root_visits, expansions, iterations_run =
+      if workers <= 1 then begin
+        let root, ex = search cfg p root_state ~observe_depth in
+        (root_edges root, root.visits, ex, cfg.iterations)
+      end
+      else begin
+        (* Root-parallel MCTS: [workers] independent trees on split RNG
+           streams, iteration budget divided among them, root statistics
+           pooled before the final choice. RNGs are split here, in worker
+           order, before any tree runs — results do not depend on domain
+           scheduling. *)
+        let per_tree = max 1 (cfg.iterations / workers) in
+        let rngs = List.init workers (fun _ -> Rng.split cfg.rng) in
+        let replica =
+          match problem_of with Some f -> f | None -> fun _rng -> p
+        in
+        let domains =
+          List.map
+            (fun rng ->
+              Domain.spawn (fun () ->
+                  let p_w = replica rng in
+                  let cfg_w = { cfg with iterations = per_tree; rng } in
+                  let root, ex = search cfg_w p_w root_state ~observe_depth in
+                  (root_edges root, root.visits, ex)))
+            rngs
+        in
+        let results = List.map Domain.join domains in
+        let edges = merge_root_edges (List.map (fun (e, _, _) -> e) results) in
+        let visits = List.fold_left (fun a (_, v, _) -> a + v) 0 results in
+        let ex = List.fold_left (fun a (_, _, x) -> a + x) 0 results in
+        (edges, visits, ex, per_tree * workers)
+      end
     in
-    let norm v =
-      if !gmax -. !gmin < 1e-12 then 0.5 else (v -. !gmin) /. (!gmax -. !gmin)
-    in
-    let child_of edge state' =
-      let k = p.key state' in
-      match Hashtbl.find_opt edge.children k with
-      | Some n -> n
-      | None ->
-        let n = make_node p state' in
-        Hashtbl.replace edge.children k n;
-        n
-    in
-    let backup node edge g =
-      node.visits <- node.visits + 1;
-      edge.e_visits <- edge.e_visits + 1;
-      edge.e_total <- edge.e_total +. g
-    in
-    let rec simulate ~progress node depth =
-      if depth > !depth_reached then depth_reached := depth;
-      if p.is_terminal node.state || depth >= cfg.max_rollout_steps then 0.0
-      else
-        match node.untried with
-        | a :: rest ->
-          (* Expansion: try one unvisited action, then roll out. *)
-          node.untried <- rest;
-          incr expansions;
-          let edge = { action = a; e_visits = 0; e_total = 0.0; children = Hashtbl.create 4 } in
-          node.edges <- node.edges @ [ edge ];
-          let state', r = p.step node.state a in
-          let child = child_of edge state' in
-          let g = r +. rollout cfg p state' in
-          ignore child;
-          backup node edge g;
-          g
-        | [] ->
-          if node.edges = [] then 0.0  (* dead end: no legal actions *)
-          else begin
-            let edge =
-              match cfg.selection with
-              | Uct w -> select_uct w ~norm node
-              | Epsilon_greedy -> select_eps cfg ~progress node
-            in
-            let state', r = p.step node.state edge.action in
-            let child = child_of edge state' in
-            let g = r +. simulate ~progress child (depth + 1) in
-            backup node edge g;
-            g
-          end
-    in
-    for i = 0 to cfg.iterations - 1 do
-      let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
-      depth_reached := 0;
-      let g = simulate ~progress root 0 in
-      Metric.Histogram.observe h_depth (float_of_int !depth_reached);
-      observe g
-    done;
     Metric.Counter.inc c_plans;
-    Metric.Counter.add c_iterations (float_of_int cfg.iterations);
-    Metric.Counter.add c_expansions (float_of_int !expansions);
-    Span.set_attr span "iterations" (Span.Int cfg.iterations);
-    Span.set_attr span "expansions" (Span.Int !expansions);
-    Span.set_attr span "root_visits" (Span.Int root.visits);
+    Metric.Counter.add c_iterations (float_of_int iterations_run);
+    Metric.Counter.add c_expansions (float_of_int expansions);
+    Span.set_attr span "iterations" (Span.Int iterations_run);
+    Span.set_attr span "workers" (Span.Int (max 1 workers));
+    Span.set_attr span "expansions" (Span.Int expansions);
+    Span.set_attr span "root_visits" (Span.Int root_visits);
     (* Final choice: best mean return; ties broken toward more visits. *)
     let best =
       List.fold_left
@@ -185,29 +264,29 @@ let plan ?telemetry cfg p root_state =
           match best with
           | None -> Some e
           | Some b ->
-            let me = edge_mean e and mb = edge_mean b in
-            if me > mb || (Float.equal me mb && e.e_visits > b.e_visits) then
+            let me = re_mean e and mb = re_mean b in
+            if me > mb || (Float.equal me mb && e.re_visits > b.re_visits) then
               Some e
             else best)
-        None root.edges
+        None edges
     in
     match best with
     | None -> None
     | Some e ->
-      Span.set_attr span "chosen_visits" (Span.Int e.e_visits);
-      Span.set_attr span "chosen_mean" (Span.Float (edge_mean e));
+      Span.set_attr span "chosen_visits" (Span.Int e.re_visits);
+      Span.set_attr span "chosen_mean" (Span.Float (re_mean e));
       let candidates =
         List.map
           (fun e ->
-            { cand_action = e.action;
-              cand_visits = e.e_visits;
-              cand_mean = edge_mean e })
-          root.edges
+            { cand_action = e.re_action;
+              cand_visits = e.re_visits;
+              cand_mean = re_mean e })
+          edges
       in
       Some
-        ( e.action,
-          { chosen_visits = e.e_visits;
-            chosen_mean = edge_mean e;
-            root_visits = root.visits;
+        ( e.re_action,
+          { chosen_visits = e.re_visits;
+            chosen_mean = re_mean e;
+            root_visits;
             candidates } ))
   end

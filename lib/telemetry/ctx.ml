@@ -1,9 +1,18 @@
-type t = { registry : Registry.t; tracer : Span.tracer }
+type t = {
+  registry : Registry.t;
+  tracer : Span.tracer;
+  recorder : Recorder.t;
+}
 
-let create ?(sink = Span.Null) () =
-  { registry = Registry.create (); tracer = Span.make sink }
+let create ?(sink = Span.Null) ?recorder () =
+  { registry = Registry.create ();
+    tracer = Span.make sink;
+    recorder =
+      (match recorder with Some r -> r | None -> Recorder.null ()) }
 
 let null () = create ()
+let with_recorder t recorder = { t with recorder }
+let recorder t = t.recorder
 
 let counter t ?labels name = Registry.counter t.registry ?labels name
 let gauge t ?labels name = Registry.gauge t.registry ?labels name
@@ -12,3 +21,4 @@ let histogram t ?base ?labels name =
   Registry.histogram t.registry ?base ?labels name
 
 let with_span t ?attrs name f = Span.with_span t.tracer ?attrs name f
+let record t event = Recorder.record t.recorder event

@@ -1,18 +1,36 @@
-(** The telemetry context callers thread through the stack: one metric
-    {!Registry.t} plus one span {!Span.tracer}.
+(** The observability context callers thread through the stack: one metric
+    {!Registry.t}, one span {!Span.tracer}, and one decision flight
+    {!Recorder.t}.
 
     Every instrumented entry point ([Executor.create], [Mcts.plan],
-    [Driver.run], [Runner.run_suite], …) takes an optional [?telemetry]
-    context; omitting it gets a fresh Null-sink context, so uninstrumented
-    callers keep working and pay only counter updates. *)
+    [Driver.run], [Runner.run_suite], …) takes a single optional [?ctx];
+    omitting it gets a fresh Null-sink, null-recorder context, so
+    uninstrumented callers keep working and pay only counter updates.
+    There is exactly one way to ask for observability — no separate
+    [?recorder] arguments anywhere.
 
-type t = { registry : Registry.t; tracer : Span.tracer }
+    Registries, tracers, and metrics are domain-safe and may be shared
+    across a worker pool. The recorder is the exception: it buffers events
+    for a single query run and must be owned by one domain at a time —
+    attach a fresh one per query via {!with_recorder}. *)
 
-val create : ?sink:Span.sink -> unit -> t
-(** Default sink: {!Span.Null}. *)
+type t = {
+  registry : Registry.t;
+  tracer : Span.tracer;
+  recorder : Recorder.t;
+}
+
+val create : ?sink:Span.sink -> ?recorder:Recorder.t -> unit -> t
+(** Default sink: {!Span.Null}; default recorder: {!Recorder.null}. *)
 
 val null : unit -> t
-(** Fresh context that records metrics but drops spans. *)
+(** Fresh context that records metrics but drops spans and events. *)
+
+val with_recorder : t -> Recorder.t -> t
+(** Same registry and tracer, different recorder — the per-query handle for
+    EXPLAIN-style capture. *)
+
+val recorder : t -> Recorder.t
 
 val counter : t -> ?labels:(string * string) list -> string -> Metric.Counter.t
 val gauge : t -> ?labels:(string * string) list -> string -> Metric.Gauge.t
@@ -23,3 +41,7 @@ val histogram :
 
 val with_span :
   t -> ?attrs:(string * Span.attr) list -> string -> (Span.t -> 'a) -> 'a
+
+val record : t -> Recorder.event -> unit
+(** Shorthand for [Recorder.record (recorder t)] — a single branch when the
+    recorder is null. *)

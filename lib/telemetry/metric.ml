@@ -1,24 +1,32 @@
 module Counter = struct
-  type t = { mutable v : float }
+  type t = { v : float Atomic.t }
 
-  let create () = { v = 0.0 }
-  let inc c = c.v <- c.v +. 1.0
-  let add c x = c.v <- c.v +. x
-  let value c = c.v
+  let create () = { v = Atomic.make 0.0 }
+
+  (* Lock-free add: CAS on the boxed float. [compare_and_set] compares the
+     box physically, and we hand back the exact value we read, so a failed
+     CAS means precisely that another domain got in between. *)
+  let rec add c x =
+    let old = Atomic.get c.v in
+    if not (Atomic.compare_and_set c.v old (old +. x)) then add c x
+
+  let inc c = add c 1.0
+  let value c = Atomic.get c.v
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  type t = { v : float Atomic.t }
 
-  let create () = { v = 0.0 }
-  let set g x = g.v <- x
-  let value g = g.v
+  let create () = { v = Atomic.make 0.0 }
+  let set g x = Atomic.set g.v x
+  let value g = Atomic.get g.v
 end
 
 module Histogram = struct
   type t = {
     base : float;
     log_base : float;
+    lock : Mutex.t;
     counts : (int, int) Hashtbl.t;  (* bucket index -> count, v > 0 only *)
     mutable underflow : int;  (* v <= 0 *)
     mutable n : int;
@@ -31,12 +39,23 @@ module Histogram = struct
     if base <= 1.0 then invalid_arg "Histogram.create: base must be > 1";
     { base;
       log_base = Float.log base;
+      lock = Mutex.create ();
       counts = Hashtbl.create 16;
       underflow = 0;
       n = 0;
       total = 0.0;
       mn = infinity;
       mx = neg_infinity }
+
+  let locked h f =
+    Mutex.lock h.lock;
+    match f () with
+    | x ->
+      Mutex.unlock h.lock;
+      x
+    | exception e ->
+      Mutex.unlock h.lock;
+      raise e
 
   let base h = h.base
 
@@ -58,6 +77,7 @@ module Histogram = struct
     (h.base ** float_of_int i, h.base ** float_of_int (i + 1))
 
   let observe h v =
+    locked h @@ fun () ->
     h.n <- h.n + 1;
     h.total <- h.total +. v;
     if v < h.mn then h.mn <- v;
@@ -69,13 +89,16 @@ module Histogram = struct
         (1 + Option.value ~default:0 (Hashtbl.find_opt h.counts i))
     end
 
-  let count h = h.n
-  let sum h = h.total
-  let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
-  let min_value h = h.mn
-  let max_value h = h.mx
+  let count h = locked h @@ fun () -> h.n
+  let sum h = locked h @@ fun () -> h.total
 
-  let buckets h =
+  let mean h =
+    locked h @@ fun () -> if h.n = 0 then 0.0 else h.total /. float_of_int h.n
+
+  let min_value h = locked h @@ fun () -> h.mn
+  let max_value h = locked h @@ fun () -> h.mx
+
+  let buckets_unlocked h =
     let positive =
       Hashtbl.fold (fun i c acc -> (i, c) :: acc) h.counts []
       |> List.sort compare
@@ -83,7 +106,10 @@ module Histogram = struct
     in
     if h.underflow > 0 then (None, h.underflow) :: positive else positive
 
+  let buckets h = locked h @@ fun () -> buckets_unlocked h
+
   let quantile h q =
+    locked h @@ fun () ->
     if h.n = 0 then 0.0
     else begin
       let rank = Float.max 1.0 (Float.round (q *. float_of_int h.n)) in
@@ -95,13 +121,16 @@ module Histogram = struct
             match bounds with None -> 0.0 | Some (_, hi) -> hi
           else walk acc rest
       in
-      walk 0 (buckets h)
+      walk 0 (buckets_unlocked h)
     end
 
   let merge a b =
     if a.base <> b.base then invalid_arg "Histogram.merge: different bases";
     let m = create ~base:a.base () in
+    (* [m] is private until returned, so blending under each input's own
+       lock (one at a time, never nested) is race-free. *)
     let blend (h : t) =
+      locked h @@ fun () ->
       Hashtbl.iter
         (fun i c ->
           Hashtbl.replace m.counts i

@@ -1,7 +1,10 @@
 (** Metric primitives: counters, gauges, and log-bucketed histograms.
 
-    All three are plain mutable records — an update is one or two float
-    stores, cheap enough to leave enabled on hot executor/MCTS paths.
+    All three are domain-safe: counters and gauges are a single [Atomic]
+    float (an update is one load plus a CAS — cheap enough to leave enabled
+    on hot executor/MCTS paths, uncontended or not), and histograms take a
+    short per-instance mutex around each observation. Updates from several
+    domains never lose increments; readers see a consistent snapshot.
     Instances are normally interned through {!Registry} so snapshots can
     find them; nothing stops standalone use in tests. *)
 

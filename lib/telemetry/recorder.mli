@@ -15,6 +15,11 @@
     [record] on it is a single branch, so the instrumented paths cost
     nothing when recording is off.
 
+    Unlike the rest of the telemetry layer, a recorder is {b not}
+    domain-safe: it buffers one query's trajectory and must be owned by a
+    single domain at a time. Parallel harnesses attach a fresh recorder per
+    query ({!Ctx.with_recorder}) instead of sharing one.
+
     Consumers: {!Explain} renders the ASCII EXPLAIN ANALYZE-style report;
     {!to_json} / {!to_dot} export the trajectory and the recorded MCTS
     root decisions for offline inspection ([dot -Tsvg] renders the

@@ -5,9 +5,19 @@ type instrument =
   | Gauge of Metric.Gauge.t
   | Histogram of Metric.Histogram.t
 
-type t = { tbl : (key, instrument) Hashtbl.t }
+type t = { lock : Mutex.t; tbl : (key, instrument) Hashtbl.t }
 
-let create () = { tbl = Hashtbl.create 32 }
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | x ->
+    Mutex.unlock t.lock;
+    x
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let key name labels =
   { name; labels = List.sort (fun (a, _) (b, _) -> compare a b) labels }
@@ -19,6 +29,7 @@ let kind_name = function
 
 let intern t name labels ~make =
   let k = key name labels in
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl k with
   | Some i -> i
   | None ->
@@ -54,8 +65,9 @@ let histogram t ?base ?(labels = []) name =
     invalid_arg
       (Printf.sprintf "Registry.histogram: %s is a %s" name (kind_name other))
 
-let find t ?(labels = []) name = Hashtbl.find_opt t.tbl (key name labels)
+let find t ?(labels = []) name =
+  locked t @@ fun () -> Hashtbl.find_opt t.tbl (key name labels)
 
 let to_list t =
-  Hashtbl.fold (fun k i acc -> (k, i) :: acc) t.tbl []
+  locked t @@ fun () -> Hashtbl.fold (fun k i acc -> (k, i) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -2,7 +2,11 @@
 
     Callers thread a registry explicitly (usually inside a {!Ctx.t});
     nothing in the library touches process-global state, so concurrent
-    runs, tests, and nested experiments cannot observe each other.
+    runs, tests, and nested experiments cannot observe each other. One
+    registry may be shared across domains: interning and lookups take a
+    per-registry mutex, so two domains asking for the same (name, labels)
+    always receive the same instrument. Hot paths should still resolve
+    instruments once and hold on to the result.
 
     [counter]/[gauge]/[histogram] intern by (name, labels): the first call
     creates the instrument, later calls return the same one, so hot paths

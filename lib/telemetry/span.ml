@@ -17,7 +17,10 @@ type t = {
 
 let duration s = s.stop -. s.start
 
-type buffer = { mutable spans : t list }  (* reverse completion order *)
+type buffer = {
+  block : Mutex.t;
+  mutable spans : t list;  (* reverse completion order *)
+}
 
 type sink =
   | Null
@@ -25,20 +28,38 @@ type sink =
   | Jsonl of out_channel
   | Multi of sink list
 
-let memory_buffer () = { spans = [] }
-let buffer_spans b = List.rev b.spans
+let memory_buffer () = { block = Mutex.create (); spans = [] }
 
-type tracer = { sink : sink; mutable next_id : int; mutable stack : int list }
-
-let make sink = { sink; next_id = 0; stack = [] }
-let null () = make Null
-let sink t = t.sink
+let buffer_spans b =
+  Mutex.lock b.block;
+  let spans = b.spans in
+  Mutex.unlock b.block;
+  List.rev spans
 
 let rec sink_enabled = function
   | Null -> false
   | Memory _ | Jsonl _ -> true
   | Multi sinks -> List.exists sink_enabled sinks
 
+(* Span ids come from an atomic counter so concurrent domains never collide;
+   the open-span stack is domain-local (each domain nests independently,
+   parents never cross domains). The DLS key is allocated only for enabled
+   sinks — Null tracers are created per query in bulk and must stay free. *)
+type tracer = {
+  sink : sink;
+  next_id : int Atomic.t;
+  stack : int list ref Domain.DLS.key option;
+}
+
+let make sink =
+  { sink;
+    next_id = Atomic.make 0;
+    stack =
+      (if sink_enabled sink then Some (Domain.DLS.new_key (fun () -> ref []))
+       else None) }
+
+let null () = make Null
+let sink t = t.sink
 let enabled t = sink_enabled t.sink
 
 (* The span handed to thunks when nothing is recording; attribute writes on
@@ -97,27 +118,37 @@ let of_json j =
   in
   Ok { id; parent; name; start; stop; attrs = List.rev attrs }
 
+(* One process-wide lock serialises Jsonl writes: a span's line must not
+   interleave with another domain's, whichever tracer owns the channel. *)
+let jsonl_lock = Mutex.create ()
+
 let rec emit sink s =
   match sink with
   | Null -> ()
-  | Memory b -> b.spans <- s :: b.spans
+  | Memory b ->
+    Mutex.lock b.block;
+    b.spans <- s :: b.spans;
+    Mutex.unlock b.block
   | Jsonl oc ->
-    output_string oc (Json.to_string (to_json s));
-    output_char oc '\n'
+    let line = Json.to_string (to_json s) in
+    Mutex.lock jsonl_lock;
+    output_string oc line;
+    output_char oc '\n';
+    Mutex.unlock jsonl_lock
   | Multi sinks -> List.iter (fun snk -> emit snk s) sinks
 
 let with_span tr ?(attrs = []) name f =
-  match tr.sink with
-  | Null -> f dummy
-  | _ ->
-    let id = tr.next_id in
-    tr.next_id <- id + 1;
-    let parent = match tr.stack with [] -> None | p :: _ -> Some p in
+  match tr.stack with
+  | None -> f dummy
+  | Some key ->
+    let stack = Domain.DLS.get key in
+    let id = Atomic.fetch_and_add tr.next_id 1 in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
     let s = { id; parent; name; start = Timer.now (); stop = nan; attrs } in
-    tr.stack <- id :: tr.stack;
+    stack := id :: !stack;
     let close () =
       s.stop <- Timer.now ();
-      (tr.stack <- (match tr.stack with _ :: rest -> rest | [] -> []));
+      (stack := (match !stack with _ :: rest -> rest | [] -> []));
       emit tr.sink s
     in
     (match f s with

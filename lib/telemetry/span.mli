@@ -14,7 +14,13 @@
     - [Multi] fans out to several sinks.
 
     Spans close in LIFO order; an exception escaping the thunk still closes
-    the span (tagged with an ["error"] attribute) and re-raises. *)
+    the span (tagged with an ["error"] attribute) and re-raises.
+
+    A tracer may be shared across domains: ids come from an atomic counter,
+    the open-span stack is domain-local (so parent/child nesting is tracked
+    per domain and never crosses domains), [Memory] buffers are
+    mutex-guarded, and [Jsonl] lines are written whole under a process-wide
+    lock. The [Null] fast path stays allocation- and lock-free. *)
 
 type attr =
   | Bool of bool

@@ -1,0 +1,113 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers block on [nonempty] until a task (or the shutdown flag) appears;
+   on shutdown they drain whatever is still queued before exiting. *)
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some task -> Some task
+    | None ->
+      if t.closing then None
+      else begin
+        Condition.wait t.nonempty t.lock;
+        next ()
+      end
+  in
+  let task = next () in
+  Mutex.unlock t.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop t
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    { queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closing = false;
+      workers = [] }
+  in
+  t.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = List.length t.workers
+
+let submit t task =
+  Mutex.lock t.lock;
+  if t.closing then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool: shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n None in
+    (* Per-call completion state: its own mutex/condition, so concurrent
+       [map] calls on one pool never wake each other. *)
+    let lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let error = ref None in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let outcome =
+              match f x with
+              | y -> Ok y
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock lock;
+            (match outcome with
+            | Ok y -> results.(i) <- Some y
+            | Error (e, bt) -> (
+              (* Keep the failure of the earliest input position. *)
+              match !error with
+              | Some (j, _, _) when j < i -> ()
+              | _ -> error := Some (i, e, bt)));
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock lock))
+      items;
+    Mutex.lock lock;
+    while !remaining > 0 do
+      Condition.wait all_done lock
+    done;
+    Mutex.unlock lock;
+    (match !error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list (Array.map Option.get results)
+
+let iter t f xs = ignore (map t (fun x -> (f x : unit)) xs)
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

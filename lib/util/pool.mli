@@ -1,0 +1,49 @@
+(** A fixed-size pool of worker domains.
+
+    [create n] spawns [n] worker domains that block on a shared task queue
+    (Mutex/Condition); {!map} and {!iter} fan a list of items out across
+    them and wait for every item to settle. The pool is reusable: many
+    [map]/[iter] calls can share one pool, and {!with_pool} scopes
+    creation/shutdown around a single computation.
+
+    Exceptions raised by a task are caught on the worker, and the first one
+    (by item index) is re-raised on the submitting domain — with its
+    backtrace — after all items of that call have settled, so a failing
+    [map] never leaves stray tasks running. The pool itself stays usable
+    after a failed call.
+
+    Restrictions: tasks must not themselves call [map]/[iter] on the same
+    pool (the submitter's items could then starve behind their own
+    children), and a pool must be shut down from the domain structure that
+    created it. These are the only sharp edges; everything else —
+    submitting from several domains, empty item lists, [shutdown] twice —
+    is safe. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains ([n ≥ 1]).
+    @raise Invalid_argument when [n < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element on the pool's workers and
+    returns the results in input order. Blocks until all items settle; if
+    any task raised, re-raises the first failure (by input position).
+    @raise Invalid_argument when the pool was shut down. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+(** [map] for effects. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: lets queued tasks drain, then joins every worker.
+    Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] over a fresh [n]-worker pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

@@ -102,10 +102,7 @@ let test_run_suite_applicability () =
   in
   let rows =
     Runner.run_suite
-      { Runner.budget = 1e6;
-        seed = 1;
-        queries = Some [ "uq16" ];
-        telemetry = Monsoon_telemetry.Ctx.null () }
+      { Runner.budget = 1e6; seed = 1; queries = Some [ "uq16" ]; jobs = 1 }
       [ Strategy.postgres; Strategy.greedy ]
       w
   in
@@ -116,6 +113,75 @@ let test_run_suite_applicability () =
     Alcotest.(check bool) "greedy ran" true
       ((List.hd greedy.Runner.cells).Runner.outcome <> None)
   | _ -> Alcotest.fail "expected two rows")
+
+(* --- Parallel suite determinism ---
+
+   The headline invariant of the jobs knob: the row list is identical for
+   every jobs value. Wall-clock fields aside, every outcome field is a
+   deterministic function of (seed, strategy, query), so sequential and
+   pooled runs must agree exactly. MONSOON_JOBS overrides the parallel
+   width (the CI matrix runs 4). *)
+
+let deterministic_fingerprint (rows : Runner.row list) =
+  List.map
+    (fun (r : Runner.row) ->
+      ( r.Runner.strategy,
+        List.map
+          (fun (c : Runner.cell) ->
+            ( c.Runner.query,
+              Option.map
+                (fun (o : Strategy.outcome) ->
+                  ( o.Strategy.cost, o.Strategy.timed_out,
+                    o.Strategy.stats_cost, o.Strategy.result_card,
+                    o.Strategy.plan ))
+                c.Runner.outcome ))
+          r.Runner.cells ))
+    rows
+
+let test_jobs_invariance () =
+  let jobs =
+    match Option.bind (Sys.getenv_opt "MONSOON_JOBS") int_of_string_opt with
+    | Some n when n >= 0 -> n
+    | _ -> 4
+  in
+  let w =
+    Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain }
+  in
+  let strategies =
+    [ Strategy.defaults; Strategy.greedy; Strategy.sampling;
+      Strategy.monsoon ~iterations:60 ~scale_with_size:false
+        Monsoon_stats.Prior.spike_and_slab ]
+  in
+  let config jobs =
+    { Runner.budget = 1e6;
+      seed = 11;
+      queries = Some [ "tq1"; "tq2"; "tq12" ];
+      jobs }
+  in
+  let seq = Runner.run_suite (config 1) strategies w in
+  let par = Runner.run_suite (config jobs) strategies w in
+  Alcotest.(check bool)
+    (Printf.sprintf "rows identical for jobs=1 and jobs=%d" jobs)
+    true
+    (deterministic_fingerprint seq = deterministic_fingerprint par);
+  (* Sanity: the suite did real work (some cost is non-zero). *)
+  let some_cost =
+    List.exists
+      (fun (r : Runner.row) ->
+        List.exists
+          (fun (c : Runner.cell) ->
+            match c.Runner.outcome with
+            | Some o -> o.Strategy.cost > 0.0
+            | None -> false)
+          r.Runner.cells)
+      seq
+  in
+  Alcotest.(check bool) "suite produced costs" true some_cost
+
+let test_default_config () =
+  Alcotest.(check int) "jobs default" 1 Runner.default_config.Runner.jobs;
+  Alcotest.(check bool) "all queries" true
+    (Runner.default_config.Runner.queries = None)
 
 (* --- Experiments (fast ones, exactness) --- *)
 
@@ -156,7 +222,9 @@ let () =
           Alcotest.test_case "relative buckets" `Quick test_relative_buckets;
           Alcotest.test_case "timeout bucket" `Quick test_relative_buckets_timeout_is_high;
           Alcotest.test_case "top-k & filter" `Quick test_top_k;
-          Alcotest.test_case "applicability" `Quick test_run_suite_applicability ] );
+          Alcotest.test_case "applicability" `Quick test_run_suite_applicability;
+          Alcotest.test_case "default config" `Quick test_default_config;
+          Alcotest.test_case "jobs invariance" `Slow test_jobs_invariance ] );
       ( "experiments",
         [ Alcotest.test_case "table1 exact" `Quick test_table1_exact;
           Alcotest.test_case "figure2 priors" `Quick test_figure2_has_all_priors;

@@ -117,6 +117,52 @@ let test_chain_long_horizon () =
   | Some (a, _) -> Alcotest.(check int) "keeps walking" 0 a
   | None -> Alcotest.fail "no action"
 
+(* --- Root-parallel planning --- *)
+
+let parallel_plan ?(workers = 2) ?(iterations = 2000) problem state =
+  let rng = Rng.create 7 in
+  let cfg = Mcts.default_config ~rng in
+  let cfg = { cfg with Mcts.iterations } in
+  Mcts.plan ~workers ~problem_of:(fun _rng -> problem) cfg problem state
+
+let test_parallel_picks_best () =
+  match parallel_plan (bandit [| 1.0; 5.0; 3.0 |]) 0 with
+  | Some (a, _) -> Alcotest.(check int) "best arm" 1 a
+  | None -> Alcotest.fail "no action"
+
+let test_parallel_merges_root_stats () =
+  (* Each of the [workers] trees runs [iterations / workers] iterations;
+     the merged root carries all of them. *)
+  match parallel_plan ~workers:4 ~iterations:2000 trap 0 with
+  | Some (a, st) ->
+    Alcotest.(check int) "avoids trap" 1 a;
+    Alcotest.(check int) "merged root visits" 2000 st.Mcts.root_visits;
+    Alcotest.(check bool) "chosen visits merged" true
+      (st.Mcts.chosen_visits > 500);
+    Alcotest.(check bool) "candidates carried over" true
+      (List.length st.Mcts.candidates >= 2)
+  | None -> Alcotest.fail "no action"
+
+let test_parallel_problem_of_replicas () =
+  (* Stochastic problems get a per-worker replica seeded by a split RNG, so
+     each tree samples independently yet the whole run is seed-determined. *)
+  let run () =
+    let rng = Rng.create 7 in
+    let cfg = { (Mcts.default_config ~rng) with Mcts.iterations = 4000 } in
+    match
+      Mcts.plan ~workers:2 ~problem_of:(fun r -> gamble r) cfg
+        (gamble (Rng.create 0)) 0
+    with
+    | Some (a, st) -> (a, st.Mcts.chosen_visits)
+    | None -> Alcotest.fail "no action"
+  in
+  let a, _ = run () in
+  Alcotest.(check int) "sure +1" 1 a;
+  Alcotest.(check (pair int int)) "reproducible across runs" (run ()) (run ())
+
+let test_parallel_terminal_returns_none () =
+  Alcotest.(check bool) "terminal" true (parallel_plan trap 3 = None)
+
 let prop_bandit_always_optimal =
   QCheck.Test.make ~name:"bandit solved for random reward vectors" ~count:25
     QCheck.(array_of_size (QCheck.Gen.int_range 2 6) (float_range (-100.0) 100.0))
@@ -142,4 +188,12 @@ let () =
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
           Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
           Alcotest.test_case "long horizon chain" `Quick test_chain_long_horizon ] );
+      ( "root-parallel",
+        [ Alcotest.test_case "parallel best arm" `Quick test_parallel_picks_best;
+          Alcotest.test_case "merged root stats" `Quick
+            test_parallel_merges_root_stats;
+          Alcotest.test_case "per-worker replicas" `Quick
+            test_parallel_problem_of_replicas;
+          Alcotest.test_case "parallel terminal none" `Quick
+            test_parallel_terminal_returns_none ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_bandit_always_optimal ]) ]

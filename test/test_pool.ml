@@ -1,0 +1,110 @@
+open Monsoon_util
+
+(* --- Monsoon_util.Pool: the domain worker pool under the harness --- *)
+
+let test_map_order () =
+  Pool.with_pool 4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      let ys = Pool.map p (fun x -> x * x) xs in
+      Alcotest.(check (list int)) "results in input order"
+        (List.map (fun x -> x * x) xs)
+        ys)
+
+let test_map_empty () =
+  Pool.with_pool 2 (fun p ->
+      Alcotest.(check (list int)) "empty input" [] (Pool.map p Fun.id []))
+
+let test_size_and_default () =
+  Pool.with_pool 3 (fun p -> Alcotest.(check int) "size" 3 (Pool.size p));
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: need at least one worker") (fun () ->
+      ignore (Pool.create 0))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool 4 (fun p ->
+      (* The earliest failing index wins; every task still runs (the
+         successes settle before [map] re-raises). *)
+      let ran = Atomic.make 0 in
+      match
+        Pool.map p
+          (fun x ->
+            Atomic.incr ran;
+            if x mod 3 = 1 then raise (Boom x) else x)
+          (List.init 12 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        Alcotest.(check int) "earliest failing input" 1 x;
+        Alcotest.(check int) "all tasks ran" 12 (Atomic.get ran))
+
+let test_pool_usable_after_failure () =
+  Pool.with_pool 2 (fun p ->
+      (match Pool.map p (fun () -> raise Exit) [ () ] with
+      | _ -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      Alcotest.(check (list int)) "next map still works" [ 2; 4 ]
+        (Pool.map p (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_iter_effects () =
+  Pool.with_pool 4 (fun p ->
+      let total = Atomic.make 0 in
+      let rec add a x =
+        let old = Atomic.get a in
+        if not (Atomic.compare_and_set a old (old + x)) then add a x
+      in
+      Pool.iter p (fun x -> add total x) (List.init 101 Fun.id);
+      Alcotest.(check int) "sum 0..100" 5050 (Atomic.get total))
+
+let test_shutdown_drains_and_rejects () =
+  let p = Pool.create 2 in
+  let done_ = Atomic.make 0 in
+  (* Queue work, then shut down: shutdown joins only after the queue
+     drains, so every task completes. *)
+  let _ =
+    Pool.map p
+      (fun () ->
+        Domain.cpu_relax ();
+        Atomic.incr done_)
+      (List.init 8 (fun _ -> ()))
+  in
+  Pool.shutdown p;
+  Alcotest.(check int) "all tasks completed" 8 (Atomic.get done_);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool: shut down") (fun () ->
+      ignore (Pool.map p Fun.id [ 1 ]));
+  (* Idempotent. *)
+  Pool.shutdown p
+
+let test_concurrent_maps_on_one_pool () =
+  (* Two domains share one pool; per-call completion state must not cross
+     wires. *)
+  Pool.with_pool 4 (fun p ->
+      let run xs () = Pool.map p (fun x -> x + 1) xs in
+      let a = List.init 50 Fun.id in
+      let b = List.init 50 (fun i -> 1000 + i) in
+      let da = Domain.spawn (run a) in
+      let rb = run b () in
+      let ra = Domain.join da in
+      Alcotest.(check (list int)) "first map" (List.map succ a) ra;
+      Alcotest.(check (list int)) "second map" (List.map succ b) rb)
+
+let () =
+  Alcotest.run "pool"
+    [ ( "pool",
+        [ Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "map on empty" `Quick test_map_empty;
+          Alcotest.test_case "size & default_jobs" `Quick test_size_and_default;
+          Alcotest.test_case "create rejects n<1" `Quick test_create_invalid;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "usable after failure" `Quick
+            test_pool_usable_after_failure;
+          Alcotest.test_case "iter" `Quick test_iter_effects;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_drains_and_rejects;
+          Alcotest.test_case "concurrent maps" `Quick
+            test_concurrent_maps_on_one_pool ] ) ]

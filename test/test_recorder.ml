@@ -21,7 +21,9 @@ let recorded_run ~seed =
   in
   let tel = Ctx.create ~sink:Span.Null () in
   let recorder = Recorder.create () in
-  let outcome = Driver.run ~telemetry:tel ~recorder config cat q in
+  let outcome =
+    Driver.run ~ctx:(Ctx.with_recorder tel recorder) config cat q
+  in
   (outcome, recorder, tel)
 
 let nodes_of recorder =

@@ -217,6 +217,84 @@ let test_breakdown_groups_spans () =
   Alcotest.(check int) "work spans" 2 work.Snapshot.comp_spans;
   Alcotest.(check (float 1e-9)) "work objects" 15.0 work.Snapshot.comp_objects
 
+(* --- Domain-safety: hammer the primitives from several domains --- *)
+
+let in_domains n f =
+  let ds = List.init n (fun i -> Domain.spawn (fun () -> f i)) in
+  List.iter Domain.join ds
+
+let test_counter_hammer () =
+  let reg = Registry.create () in
+  let per_domain = 25_000 in
+  in_domains 4 (fun _ ->
+      (* Interning races with the other domains; all four must end up on
+         the same instrument. *)
+      let c = Registry.counter reg "hammer.hits" in
+      for _ = 1 to per_domain do
+        Metric.Counter.inc c
+      done);
+  Alcotest.(check (float 1e-9))
+    "no increment lost across 4 domains"
+    (float_of_int (4 * per_domain))
+    (Metric.Counter.value (Registry.counter reg "hammer.hits"))
+
+let test_histogram_hammer () =
+  let h = Metric.Histogram.create () in
+  let per_domain = 10_000 in
+  in_domains 4 (fun d ->
+      for i = 1 to per_domain do
+        Metric.Histogram.observe h (float_of_int (((d * per_domain) + i) mod 37))
+      done);
+  Alcotest.(check int) "no observation lost" (4 * per_domain)
+    (Metric.Histogram.count h);
+  let bucket_total =
+    List.fold_left (fun a (_, c) -> a + c) 0 (Metric.Histogram.buckets h)
+  in
+  Alcotest.(check int) "buckets account for every observation"
+    (4 * per_domain) bucket_total
+
+let test_gauge_and_registry_hammer () =
+  let reg = Registry.create () in
+  in_domains 4 (fun d ->
+      for i = 1 to 1000 do
+        (* Same keys from every domain: interning must never produce
+           duplicates or crash. *)
+        let g = Registry.gauge reg ~labels:[ ("k", string_of_int (i mod 7)) ] "g" in
+        Metric.Gauge.set g (float_of_int d)
+      done);
+  Alcotest.(check int) "7 labeled gauges" 7 (List.length (Registry.to_list reg));
+  let v = Metric.Gauge.value (Registry.gauge reg ~labels:[ ("k", "0") ] "g") in
+  Alcotest.(check bool) "last write was some domain's" true (v >= 0.0 && v < 4.0)
+
+let test_parallel_spans () =
+  let buf = Span.memory_buffer () in
+  let tr = Span.make (Span.Memory buf) in
+  let per_domain = 500 in
+  in_domains 4 (fun d ->
+      for i = 1 to per_domain do
+        Span.with_span tr "outer" (fun outer ->
+            Span.set_attr outer "domain" (Span.Int d);
+            Span.with_span tr "inner" (fun _ -> ignore i))
+      done);
+  let spans = Span.buffer_spans buf in
+  Alcotest.(check int) "all spans recorded" (4 * per_domain * 2)
+    (List.length spans);
+  (* Ids are unique process-wide; parents resolve within each domain. *)
+  let ids = List.map (fun s -> s.Span.id) spans in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Span.id s) spans;
+  List.iter
+    (fun s ->
+      match (s.Span.name, s.Span.parent) with
+      | "inner", Some p ->
+        Alcotest.(check string) "inner's parent is an outer" "outer"
+          (Hashtbl.find by_id p).Span.name
+      | "inner", None -> Alcotest.fail "inner span lost its parent"
+      | _ -> ())
+    spans
+
 (* --- The driver's component breakdown, from spans --- *)
 
 let test_driver_breakdown () =
@@ -231,7 +309,7 @@ let test_driver_breakdown () =
         { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 3)) with
           Monsoon_mcts.Mcts.iterations = 150 } }
   in
-  let out = Driver.run ~telemetry:tel config w.Workload.catalog q in
+  let out = Driver.run ~ctx:tel config w.Workload.catalog q in
   Alcotest.(check bool) "completes" false out.Driver.timed_out;
   let comps = Snapshot.breakdown (Span.buffer_spans buf) in
   let comp name = Snapshot.component name comps in
@@ -285,6 +363,12 @@ let () =
         [ Alcotest.test_case "metrics reports" `Quick test_snapshot_reports;
           Alcotest.test_case "breakdown groups spans" `Quick
             test_breakdown_groups_spans ] );
+      ( "domain-safety",
+        [ Alcotest.test_case "counter hammer" `Quick test_counter_hammer;
+          Alcotest.test_case "histogram hammer" `Quick test_histogram_hammer;
+          Alcotest.test_case "gauge/registry hammer" `Quick
+            test_gauge_and_registry_hammer;
+          Alcotest.test_case "parallel spans" `Quick test_parallel_spans ] );
       ( "driver",
         [ Alcotest.test_case "component breakdown" `Quick
             test_driver_breakdown ] ) ]
