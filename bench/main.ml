@@ -241,11 +241,76 @@ let measure_suite_speedup ~jobs =
     ss_par_seconds = par_s;
     ss_identical = row_fingerprint rows_seq = row_fingerprint rows_par }
 
+(* --- Sampler overhead: the same small suite with the Monitor ticking at
+   a 100 ms cadence vs without one. The sampler runs on its own domain
+   and only reads atomics + Gc.quick_stat, so the delta should stay
+   within noise (a few percent); the measurement keeps it honest. *)
+
+type sampler_overhead = {
+  so_interval : float;
+  so_reps : int;
+  so_off_seconds : float;
+  so_on_seconds : float;
+  so_samples : int;
+}
+
+let measure_sampler_overhead () =
+  let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
+  let strategies = [ Strategy.defaults; Strategy.greedy; Strategy.sampling ] in
+  let config =
+    { Runner.budget = 1e6;
+      seed = 11;
+      queries = Some [ "tq1"; "tq2"; "tq12" ];
+      jobs = 1 }
+  in
+  let run tel = ignore (Runner.run_suite ~ctx:tel config strategies w) in
+  run (Ctx.null ());
+  (* warm caches before timing either leg *)
+  (* Calibrate repetitions so each timed leg lasts ~1 s: the suite alone
+     finishes in milliseconds, far less than one 100 ms tick, so a single
+     pass would only measure startup noise. Off and on legs alternate for
+     three trials each and the minimum is kept per leg — scheduler jitter
+     and GC-pacing drift are several percent per trial, well above the
+     effect being measured, and interleaving spreads any drift across
+     both legs instead of charging it to one. *)
+  let _, once = Timer.time (fun () -> run (Ctx.null ())) in
+  let reps =
+    min 2000 (max 1 (int_of_float (ceil (1.0 /. Float.max 1e-6 once))))
+  in
+  let run_n tel =
+    for _ = 1 to reps do
+      run tel
+    done
+  in
+  let interval = 0.1 in
+  let off_best = ref infinity and on_best = ref infinity in
+  let samples = ref 0 in
+  for _ = 1 to 3 do
+    let _, off = Timer.time (fun () -> run_n (Ctx.null ())) in
+    off_best := Float.min !off_best off;
+    let tel = Ctx.null () in
+    let mon = Monitor.create ~interval tel.Ctx.registry in
+    let _, on = Timer.time (fun () -> run_n tel) in
+    Monitor.stop mon;
+    on_best := Float.min !on_best on;
+    samples := !samples + List.length (Monitor.samples mon)
+  done;
+  { so_interval = interval;
+    so_reps = reps;
+    so_off_seconds = !off_best;
+    so_on_seconds = !on_best;
+    so_samples = !samples }
+
+let overhead_pct o =
+  if o.so_off_seconds > 0.0 then
+    Some (100.0 *. (o.so_on_seconds -. o.so_off_seconds) /. o.so_off_seconds)
+  else None
+
 (* Machine-readable companion to the console table, for tracking kernel
    performance across commits (see EXPERIMENTS.md). *)
 let bench_results_file = "BENCH_results.json"
 
-let write_results_json ~jobs rows speedup =
+let write_results_json ~jobs rows speedup overhead =
   let entry (name, ns) =
     Json.Obj
       [ ("kernel", Json.Str name);
@@ -266,6 +331,18 @@ let write_results_json ~jobs rows speedup =
           else Json.Null );
         ("identical_rows", Json.Bool speedup.ss_identical) ]
   in
+  let overhead_json =
+    Json.Obj
+      [ ("interval_seconds", Json.Num overhead.so_interval);
+        ("suite_reps", Json.Num (float_of_int overhead.so_reps));
+        ("off_seconds", Json.Num overhead.so_off_seconds);
+        ("on_seconds", Json.Num overhead.so_on_seconds);
+        ( "overhead_pct",
+          match overhead_pct overhead with
+          | Some p -> Json.Num p
+          | None -> Json.Null );
+        ("samples", Json.Num (float_of_int overhead.so_samples)) ]
+  in
   let oc = open_out bench_results_file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -275,7 +352,8 @@ let write_results_json ~jobs rows speedup =
            (Json.Obj
               [ ("jobs", Json.Num (float_of_int jobs));
                 ("kernels", Json.Arr (List.map entry rows));
-                ("suite_speedup", speedup_json) ]));
+                ("suite_speedup", speedup_json);
+                ("sampler_overhead", overhead_json) ]));
       output_char oc '\n');
   Printf.printf "  (wrote %d kernel results + suite speedup to %s)\n\n"
     (List.length rows) bench_results_file
@@ -348,8 +426,35 @@ let jobs () =
   | None, Some n -> n
   | None, None -> 1
 
+(* `bench --serve PORT` (or MONSOON_SERVE=PORT) exposes /metrics for the
+   duration of the experiment reproductions, so a long full-profile run
+   can be watched from Prometheus or curl. *)
+let serve_port () =
+  let parse v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Some n
+    | _ ->
+      Printf.eprintf "bench: ignoring bad serve port %S\n" v;
+      None
+  in
+  let from_argv =
+    let rec scan = function
+      | "--serve" :: v :: _ -> parse v
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan (Array.to_list Sys.argv)
+  in
+  match from_argv with
+  | Some _ as p -> p
+  | None -> Option.bind (Sys.getenv_opt "MONSOON_SERVE") parse
+
 let () =
   let jobs = jobs () in
+  (* Overhead first: bechamel's stabilize loop (repeated Gc.compact)
+     leaves a multi-second GC-pacing transient that would otherwise
+     poison whichever leg runs inside the recovery window. *)
+  let overhead = measure_sampler_overhead () in
   let kernel_rows = run_microbenchmarks () in
   let speedup =
     measure_suite_speedup
@@ -365,14 +470,38 @@ let () =
        speedup.ss_seq_seconds /. speedup.ss_par_seconds
      else nan)
     speedup.ss_identical;
-  write_results_json ~jobs kernel_rows speedup;
+  Printf.printf
+    "=== Sampler overhead (suite above x%d, %.0f ms cadence) ===\n\
+    \  off: %.2fs   on: %.2fs   overhead: %s   samples: %d\n\n"
+    overhead.so_reps
+    (overhead.so_interval *. 1000.0)
+    overhead.so_off_seconds overhead.so_on_seconds
+    (match overhead_pct overhead with
+    | Some p -> Printf.sprintf "%.1f%%" p
+    | None -> "n/a")
+    overhead.so_samples;
+  write_results_json ~jobs kernel_rows speedup overhead;
   let profile = { (profile ()) with Experiments.jobs } in
+  let monitor =
+    match serve_port () with
+    | None -> None
+    | Some port ->
+      let tel = profile.Experiments.ctx in
+      Monitor.preregister tel.Ctx.registry;
+      let m = Monitor.create tel.Ctx.registry in
+      (match Monitor.serve m ~port with
+      | Ok bound ->
+        Printf.eprintf "bench: serving http://127.0.0.1:%d/metrics\n%!" bound
+      | Error msg -> Printf.eprintf "bench: --serve %d: %s\n%!" port msg);
+      Some m
+  in
   Printf.printf "=== Experiment reproductions (profile: %s, jobs: %d) ===\n\n%!"
     profile.Experiments.label profile.Experiments.jobs;
   List.iter
     (fun (id, descr, f) ->
       let t0 = Timer.now () in
-      let output = f profile in
+      let output = Experiments.run profile ~id f in
       Printf.printf "--- %s: %s (%.1fs) ---\n%s\n%!" id descr
         (Timer.now () -. t0) output)
-    Experiments.all
+    Experiments.all;
+  Option.iter Monitor.stop monitor

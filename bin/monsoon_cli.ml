@@ -14,35 +14,6 @@ let find_experiment id =
 let unknown_experiment id =
   Error (Printf.sprintf "unknown experiment %s (try `list')" id)
 
-(* Builds the telemetry context the run executes under: an optional JSONL
-   file sink plus, when [keep] is set, an in-memory buffer for the
-   in-process report. Neither requested: the zero-cost Null sink. *)
-let with_telemetry ~trace ~keep f =
-  let opened =
-    match trace with
-    | None -> Ok None
-    | Some "" -> Error "--trace requires a non-empty FILE"
-    | Some path -> (
-      try Ok (Some (open_out path))
-      with Sys_error msg -> Error (Printf.sprintf "cannot open trace file: %s" msg))
-  in
-  match opened with
-  | Error _ as e -> e
-  | Ok oc ->
-    let buf = if keep then Some (Span.memory_buffer ()) else None in
-    let sinks =
-      (match buf with Some b -> [ Span.Memory b ] | None -> [])
-      @ match oc with Some oc -> [ Span.Jsonl oc ] | None -> []
-    in
-    let sink =
-      match sinks with [] -> Span.Null | [ s ] -> s | ss -> Span.Multi ss
-    in
-    let tel = Ctx.create ~sink () in
-    Fun.protect
-      ~finally:(fun () -> Option.iter close_out oc)
-      (fun () -> f tel buf);
-    Ok ()
-
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the quick (smoke-test) profile.")
 
@@ -54,6 +25,109 @@ let write_file path content =
       (fun () -> output_string oc content);
     Ok ()
   with Sys_error msg -> Error (Printf.sprintf "cannot write %s: %s" path msg)
+
+(* Where completed spans go when --trace is given. *)
+type trace_dest =
+  | Trace_none
+  | Trace_jsonl of out_channel
+  | Trace_perfetto of string * Trace_event.t
+
+let open_trace_dest ~trace ~trace_format =
+  match (trace, trace_format) with
+  | None, `Perfetto -> Error "--trace-format perfetto requires --trace FILE"
+  | None, `Jsonl -> Ok Trace_none
+  | Some "", _ -> Error "--trace requires a non-empty FILE"
+  | Some path, `Jsonl -> (
+    try Ok (Trace_jsonl (open_out path))
+    with Sys_error msg ->
+      Error (Printf.sprintf "cannot open trace file: %s" msg))
+  | Some path, `Perfetto -> Ok (Trace_perfetto (path, Trace_event.create ()))
+
+let close_trace_dest = function
+  | Trace_none -> ()
+  | Trace_jsonl oc -> close_out oc
+  | Trace_perfetto (path, collector) -> (
+    match write_file path (Trace_event.to_string collector) with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "monsoon: %s\n" msg)
+
+(* Builds the telemetry context the run executes under: an optional trace
+   sink (JSONL stream or Perfetto collector), when [keep] is set an
+   in-memory buffer for the in-process report, and — when [serve] or
+   [watch] asks for it — a live Monitor sampling every [interval]
+   seconds, optionally exposing /metrics, /healthz, and /snapshot.json
+   on 127.0.0.1:[serve]. With [watch], each sampler tick streams a
+   one-line differential to stderr and the run ends with the full
+   differential report on stdout. *)
+let with_telemetry ~trace ~trace_format ~keep ~serve ~interval ~watch f =
+  match open_trace_dest ~trace ~trace_format with
+  | Error _ as e -> e
+  | Ok dest -> (
+    let buf = if keep then Some (Span.memory_buffer ()) else None in
+    let sinks =
+      (match buf with Some b -> [ Span.Memory b ] | None -> [])
+      @
+      match dest with
+      | Trace_none -> []
+      | Trace_jsonl oc -> [ Span.Jsonl oc ]
+      | Trace_perfetto (_, collector) -> [ Trace_event.sink collector ]
+    in
+    let sink =
+      match sinks with [] -> Span.Null | [ s ] -> s | ss -> Span.Multi ss
+    in
+    let tel = Ctx.create ~sink () in
+    let monitor =
+      if serve = None && not watch then None
+      else begin
+        Monitor.preregister tel.Ctx.registry;
+        let prev = ref None in
+        let on_tick s =
+          if watch then begin
+            (match !prev with
+            | Some p -> Printf.eprintf "%s\n%!" (Monitor.tick_line p s)
+            | None -> ());
+            prev := Some s
+          end
+        in
+        Some
+          (Monitor.create ~interval ~on_tick
+             ~flush:(fun () -> Span.flush sink)
+             tel.Ctx.registry)
+      end
+    in
+    let served =
+      match (monitor, serve) with
+      | Some m, Some port -> (
+        match Monitor.serve m ~port with
+        | Ok bound ->
+          Printf.eprintf "monsoon: serving http://127.0.0.1:%d/metrics\n%!"
+            bound;
+          Ok ()
+        | Error msg -> Error (Printf.sprintf "--serve %d: %s" port msg))
+      | _ -> Ok ()
+    in
+    match served with
+    | Error _ as e ->
+      Option.iter Monitor.stop monitor;
+      close_trace_dest dest;
+      e
+    | Ok () ->
+      Fun.protect
+        ~finally:(fun () ->
+          (match monitor with
+          | None -> ()
+          | Some m ->
+            Monitor.stop m;
+            if watch then begin
+              match (Monitor.first m, Monitor.latest m) with
+              | Some a, Some b when a != b ->
+                print_newline ();
+                print_string (Monitor.diff_report a b)
+              | _ -> ()
+            end);
+          close_trace_dest dest)
+        (fun () -> f tel buf);
+      Ok ())
 
 (* Run one query under the flight recorder, print the explain report, and
    honor the optional DOT / JSON export destinations. Shared by `explain'
@@ -110,6 +184,36 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Print the telemetry metrics snapshot after the run.")
 
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("perfetto", `Perfetto) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Format for the --trace file: $(b,jsonl) (one span per line) or \
+           $(b,perfetto) (Chrome trace-event JSON — open it at \
+           ui.perfetto.dev to see per-domain span timelines).")
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Expose live monitoring on 127.0.0.1:$(docv) for the duration of \
+           the run: /metrics (Prometheus text exposition), /healthz, and \
+           /snapshot.json. Port 0 picks an ephemeral port; the bound \
+           address is printed to stderr.")
+
+let interval_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "sample-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Cadence of the monitor's sampler (default 1.0), used by --serve \
+           and --watch.")
+
 let metrics_report tel =
   Snapshot.metrics_table ~title:"Telemetry metrics" tel.Ctx.registry
 
@@ -138,17 +242,18 @@ let experiment_cmd =
              decision flight recorder attached and print the explain report \
              (see the `explain' command).")
   in
-  let run quick trace metrics explain dot jobs id =
+  let run quick trace trace_format serve interval metrics explain dot jobs id =
     match find_experiment id with
     | None -> unknown_experiment id
     | Some (_, _, f) ->
       let inner = ref (Ok ()) in
       let outer =
-        with_telemetry ~trace ~keep:false (fun tel _ ->
+        with_telemetry ~trace ~trace_format ~keep:false ~serve ~interval
+          ~watch:false (fun tel _ ->
             let profile =
               { (profile_of_flag quick) with Experiments.ctx = tel; jobs }
             in
-            print_string (f profile);
+            print_string (Experiments.run profile ~id f);
             print_newline ();
             if metrics then print_string (metrics_report tel);
             match explain with
@@ -162,23 +267,27 @@ let experiment_cmd =
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
-      const run $ quick_flag $ trace_arg $ metrics_arg $ explain_arg $ dot_arg
-      $ jobs_arg $ id_arg)
+      const run $ quick_flag $ trace_arg $ trace_format_arg $ serve_arg
+      $ interval_arg $ metrics_arg $ explain_arg $ dot_arg $ jobs_arg $ id_arg)
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run quick trace metrics jobs =
-    with_telemetry ~trace ~keep:false (fun tel _ ->
+  let run quick trace trace_format serve interval metrics jobs =
+    with_telemetry ~trace ~trace_format ~keep:false ~serve ~interval
+      ~watch:false (fun tel _ ->
         let profile =
           { (profile_of_flag quick) with Experiments.ctx = tel; jobs }
         in
         List.iter
-          (fun (id, _, f) -> Printf.printf "=== %s ===\n%s\n%!" id (f profile))
+          (fun (id, _, f) ->
+            Printf.printf "=== %s ===\n%s\n%!" id (Experiments.run profile ~id f))
           Experiments.all;
         if metrics then print_string (metrics_report tel))
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ quick_flag $ trace_arg $ metrics_arg $ jobs_arg)
+    Term.(
+      const run $ quick_flag $ trace_arg $ trace_format_arg $ serve_arg
+      $ interval_arg $ metrics_arg $ jobs_arg)
 
 (* `profile table8-quick' is shorthand for `profile --quick table8'. *)
 let split_profile_suffix id =
@@ -205,17 +314,28 @@ let profile_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run quick trace jobs id =
+  let watch_arg =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Stream a one-line differential sample to stderr on every \
+             monitor tick (see --sample-interval) and print the full \
+             differential runtime report — per-metric rates over the run, \
+             top movers first, plus GC — after the experiment output.")
+  in
+  let run quick trace trace_format serve interval watch jobs id =
     let base, forced = split_profile_suffix id in
     match find_experiment base with
     | None -> unknown_experiment base
     | Some (_, _, f) ->
-      with_telemetry ~trace ~keep:true (fun tel buf ->
+      with_telemetry ~trace ~trace_format ~keep:true ~serve ~interval ~watch
+        (fun tel buf ->
           let p =
             match forced with Some p -> p | None -> profile_of_flag quick
           in
           let profile = { p with Experiments.ctx = tel; jobs } in
-          print_string (f profile);
+          print_string (Experiments.run profile ~id:base f);
           print_newline ();
           Printf.printf "jobs: %d%s\n\n" profile.Experiments.jobs
             (if profile.Experiments.jobs = 0 then " (all cores)" else "");
@@ -232,7 +352,9 @@ let profile_cmd =
             trace)
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ quick_flag $ trace_arg $ jobs_arg $ id_arg)
+    Term.(
+      const run $ quick_flag $ trace_arg $ trace_format_arg $ serve_arg
+      $ interval_arg $ watch_arg $ jobs_arg $ id_arg)
 
 let explain_cmd =
   let doc =

@@ -154,6 +154,7 @@ let run ?ctx config catalog query =
     Recorder.record recorder
       (Recorder.Query_finish
          { steps = steps_taken; cost = !total_cost; timed_out; result_card });
+    Ctx.flush tel;
     Span.set_attr run_span "timed_out" (Span.Bool timed_out);
     Span.set_attr run_span "cost" (Span.Float !total_cost);
     Span.set_attr run_span "executes" (Span.Int executes);

@@ -642,6 +642,19 @@ let explain profile ~experiment ~query =
       in
       Ok recorder)
 
+(* Runs one experiment under an "experiment" span (so Perfetto traces
+   and span breakdowns group whole tables) and counts it, flushing any
+   Jsonl trace sink when the table is done. *)
+let run profile ~id fn =
+  let out =
+    Ctx.with_span profile.ctx "experiment" ~attrs:[ ("id", Span.Str id) ]
+    @@ fun _span ->
+    Metric.Counter.inc (Ctx.counter profile.ctx "harness.experiments");
+    fn profile
+  in
+  Ctx.flush profile.ctx;
+  out
+
 let all =
   [ ("table1", "Sec 2.3 cardinality scenarios", fun _ -> table1 ());
     ("figure1", "the example MDP's strategy costs", fun _ -> figure1 ());

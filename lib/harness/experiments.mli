@@ -72,6 +72,12 @@ val ablation_prior_spikes : profile -> string
 val all : (string * string * (profile -> string)) list
 (** (id, description, run) for every experiment, in paper order. *)
 
+val run : profile -> id:string -> (profile -> string) -> string
+(** [run profile ~id fn] invokes one experiment under an ["experiment"]
+    span carrying the id, bumps the [harness.experiments] counter, and
+    flushes the profile's trace sink when the table is done — the entry
+    point the CLI uses so traces and live metrics cover whole tables. *)
+
 val explain :
   profile ->
   experiment:string ->

@@ -31,8 +31,12 @@ let selected_queries config (w : Workload.t) =
 let run_suite ?ctx config strategies (w : Workload.t) =
   let tel = match ctx with Some t -> t | None -> Ctx.null () in
   let queries = selected_queries config w in
+  let c_cells = Ctx.counter tel "runner.cells" in
   let run_cell ((s : Strategy.t), qname, q) =
-    if not (s.Strategy.applicable q) then { query = qname; outcome = None }
+    if not (s.Strategy.applicable q) then begin
+      Metric.Counter.inc c_cells;
+      { query = qname; outcome = None }
+    end
     else begin
       let rng =
         cell_rng ~seed:config.seed ~strategy:s.Strategy.name ~query:qname
@@ -51,6 +55,8 @@ let run_suite ?ctx config strategies (w : Workload.t) =
         Span.set_attr span "timed_out" (Span.Bool o.Strategy.timed_out);
         o
       in
+      Metric.Counter.inc c_cells;
+      Ctx.flush tel;
       { query = qname; outcome = Some outcome }
     end
   in
@@ -63,11 +69,36 @@ let run_suite ?ctx config strategies (w : Workload.t) =
       (fun (s : Strategy.t) -> List.map (fun (qn, q) -> (s, qn, q)) queries)
       strategies
   in
+  Metric.Gauge.set
+    (Ctx.gauge tel "runner.cells_expected")
+    (float_of_int (List.length tasks));
   let cells =
     if config.jobs = 1 then List.map run_cell tasks
     else begin
       let n = if config.jobs < 1 then Pool.default_jobs () else config.jobs in
-      Pool.with_pool n (fun pool -> Pool.map pool run_cell tasks)
+      let g_queued = Ctx.gauge tel "pool.queued" in
+      let g_in_flight = Ctx.gauge tel "pool.in_flight" in
+      let g_completed = Ctx.gauge tel "pool.completed" in
+      Pool.with_pool n (fun pool ->
+          (* Export pool occupancy at cell boundaries so /metrics tracks
+             progress without a hot-path hook inside the pool itself. *)
+          let export () =
+            let st = Pool.stats pool in
+            Metric.Gauge.set g_queued (float_of_int st.Pool.queued);
+            Metric.Gauge.set g_in_flight (float_of_int st.Pool.in_flight);
+            Metric.Gauge.set g_completed (float_of_int st.Pool.completed)
+          in
+          let out =
+            Pool.map pool
+              (fun task ->
+                export ();
+                let cell = run_cell task in
+                export ();
+                cell)
+              tasks
+          in
+          export ();
+          out)
     end
   in
   let per_row = List.length queries in

@@ -22,3 +22,4 @@ let histogram t ?base ?labels name =
 
 let with_span t ?attrs name f = Span.with_span t.tracer ?attrs name f
 let record t event = Recorder.record t.recorder event
+let flush t = Span.flush (Span.sink t.tracer)

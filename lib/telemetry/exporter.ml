@@ -1,0 +1,146 @@
+(* Prometheus / OpenMetrics text exposition over a Registry.
+
+   The registry's dotted metric names ("driver.steps") become legal
+   Prometheus names by sanitizing every character outside
+   [a-zA-Z0-9_] to '_' and prefixing "monsoon_"; counters additionally
+   get the conventional "_total" suffix ("driver.steps" ->
+   "monsoon_driver_steps_total"). Output order is Registry.to_list
+   order — sorted by raw name then labels — so the exposition is stable
+   across scrapes and testable against goldens. *)
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let num v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let metric_name ?(counter = false) raw =
+  let s = sanitize raw in
+  let s =
+    if String.starts_with ~prefix:"monsoon_" s then s else "monsoon_" ^ s
+  in
+  if counter && not (String.ends_with ~suffix:"_total" s) then s ^ "_total"
+  else s
+
+(* Label-value escaping per the exposition format: backslash, double
+   quote, and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+           labels)
+    ^ "}"
+
+(* The same label set with one extra pair appended (for le / quantile). *)
+let render_labels_plus labels (k, v) = render_labels (labels @ [ (k, v) ])
+
+let quantiles = [ 0.5; 0.95; 0.99 ]
+
+let kind_of = function
+  | Registry.Counter _ -> "counter"
+  | Registry.Gauge _ -> "gauge"
+  | Registry.Histogram _ -> "histogram"
+
+(* Groups Registry.to_list's sorted output by (raw name, kind): one
+   HELP/TYPE header per group, every labeled instance under it. *)
+let group_instruments reg =
+  let rec go = function
+    | [] -> []
+    | ((k : Registry.key), inst) :: rest ->
+      let same (k' : Registry.key) inst' =
+        k'.Registry.name = k.Registry.name && kind_of inst' = kind_of inst
+      in
+      let members, rest' =
+        List.partition (fun (k', i') -> same k' i') rest
+      in
+      (k.Registry.name, kind_of inst, (k, inst) :: members) :: go rest'
+  in
+  go (Registry.to_list reg)
+
+let render_histogram buf base labels h =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let cum = ref 0 in
+  List.iter
+    (fun (bounds, c) ->
+      cum := !cum + c;
+      let le =
+        match bounds with None -> "0" | Some (_, hi) -> num hi
+      in
+      add "%s_bucket%s %d\n" base (render_labels_plus labels ("le", le)) !cum)
+    (Metric.Histogram.buckets h);
+  add "%s_bucket%s %d\n" base
+    (render_labels_plus labels ("le", "+Inf"))
+    (Metric.Histogram.count h);
+  add "%s_sum%s %s\n" base (render_labels labels)
+    (num (Metric.Histogram.sum h));
+  add "%s_count%s %d\n" base (render_labels labels) (Metric.Histogram.count h)
+
+let render reg =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (raw, kind, members) ->
+      let base = metric_name ~counter:(kind = "counter") raw in
+      add "# HELP %s Monsoon metric %s\n" base (sanitize raw);
+      add "# TYPE %s %s\n" base kind;
+      List.iter
+        (fun ((k : Registry.key), inst) ->
+          let labels = k.Registry.labels in
+          match inst with
+          | Registry.Counter c ->
+            add "%s%s %s\n" base (render_labels labels)
+              (num (Metric.Counter.value c))
+          | Registry.Gauge g ->
+            add "%s%s %s\n" base (render_labels labels)
+              (num (Metric.Gauge.value g))
+          | Registry.Histogram h -> render_histogram buf base labels h)
+        members;
+      (* p50/p95/p99 companion lines: a gauge family next to each
+         histogram, since log-bucketed histograms carry no native
+         quantile series. *)
+      if kind = "histogram" then begin
+        add "# TYPE %s_quantile gauge\n" base;
+        List.iter
+          (fun ((k : Registry.key), inst) ->
+            match inst with
+            | Registry.Histogram h ->
+              List.iter
+                (fun q ->
+                  add "%s_quantile%s %s\n" base
+                    (render_labels_plus k.Registry.labels
+                       ("quantile", num q))
+                    (num (Metric.Histogram.quantile h q)))
+                quantiles
+            | _ -> ())
+          members
+      end)
+    (group_instruments reg);
+  Buffer.contents buf

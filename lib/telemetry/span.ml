@@ -26,6 +26,7 @@ type sink =
   | Null
   | Memory of buffer
   | Jsonl of out_channel
+  | Callback of (t -> unit)
   | Multi of sink list
 
 let memory_buffer () = { block = Mutex.create (); spans = [] }
@@ -38,7 +39,7 @@ let buffer_spans b =
 
 let rec sink_enabled = function
   | Null -> false
-  | Memory _ | Jsonl _ -> true
+  | Memory _ | Jsonl _ | Callback _ -> true
   | Multi sinks -> List.exists sink_enabled sinks
 
 (* Span ids come from an atomic counter so concurrent domains never collide;
@@ -135,7 +136,20 @@ let rec emit sink s =
     output_string oc line;
     output_char oc '\n';
     Mutex.unlock jsonl_lock
+  | Callback f -> f s
   | Multi sinks -> List.iter (fun snk -> emit snk s) sinks
+
+(* Pushing buffered Jsonl lines to the OS (under the same line lock, so a
+   flush never tears a line) makes tailing the trace file during a long
+   run work; the runner calls this at query boundaries and the monitor on
+   every sampler tick. *)
+let rec flush = function
+  | Null | Memory _ | Callback _ -> ()
+  | Jsonl oc ->
+    Mutex.lock jsonl_lock;
+    (try Stdlib.flush oc with Sys_error _ -> ());
+    Mutex.unlock jsonl_lock
+  | Multi sinks -> List.iter flush sinks
 
 let with_span tr ?(attrs = []) name f =
   match tr.stack with

@@ -45,6 +45,10 @@ type sink =
   | Null
   | Memory of buffer
   | Jsonl of out_channel
+  | Callback of (t -> unit)
+      (** Called once per completed span, on the domain that closed it
+          (so the callback may read [Domain.self ()] for attribution).
+          The callback must be domain-safe; see {!Trace_event.sink}. *)
   | Multi of sink list
 
 val memory_buffer : unit -> buffer
@@ -67,6 +71,11 @@ val set_attr : t -> string -> attr -> unit
 
 val with_span :
   tracer -> ?attrs:(string * attr) list -> string -> (t -> 'a) -> 'a
+
+val flush : sink -> unit
+(** Pushes buffered [Jsonl] output to the OS so the trace file can be
+    tailed during a run; a no-op on every other sink. Safe from any
+    domain (takes the process-wide line lock, so it never tears a line). *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

@@ -1,0 +1,125 @@
+(* Chrome/Perfetto trace-event export.
+
+   A collector is a span sink (Span.Callback) that records each completed
+   span together with the id of the domain that closed it. [to_json]
+   renders the Trace Event Format understood by ui.perfetto.dev and
+   chrome://tracing: every span becomes a "B" (begin) and an "E" (end)
+   event on its domain's tid, timestamps in microseconds, attributes as
+   the B event's args.
+
+   B/E events must nest properly per tid. Spans closed on one domain
+   always nest in time (with_span opens/closes LIFO on the monotonic
+   clock), so per tid we sort spans outermost-first (start ascending,
+   stop descending) and run a sweep with an open-span stack: entering a
+   span first closes every stacked span that ended at or before its
+   start. The produced sequence is balanced and timestamp-ordered by
+   construction — which the tests assert by replaying it. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable rev : (int * Span.t) list;  (* (domain id, span), newest first *)
+}
+
+let create () = { lock = Mutex.create (); rev = [] }
+
+let sink t =
+  Span.Callback
+    (fun s ->
+      let tid = (Domain.self () :> int) in
+      Mutex.lock t.lock;
+      t.rev <- (tid, s) :: t.rev;
+      Mutex.unlock t.lock)
+
+let spans t =
+  Mutex.lock t.lock;
+  let r = t.rev in
+  Mutex.unlock t.lock;
+  List.rev r
+
+let attr_json = function
+  | Span.Bool b -> Json.Bool b
+  | Span.Int i -> Json.Num (float_of_int i)
+  | Span.Float v -> Json.Num v
+  | Span.Str s -> Json.Str s
+
+let usec seconds = Json.Num (seconds *. 1e6)
+
+let begin_event ~pid ~tid (s : Span.t) =
+  Json.Obj
+    [ ("name", Json.Str s.Span.name);
+      ("cat", Json.Str "monsoon");
+      ("ph", Json.Str "B");
+      ("ts", usec s.Span.start);
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid));
+      ("args",
+       Json.Obj (List.rev_map (fun (k, v) -> (k, attr_json v)) s.Span.attrs))
+    ]
+
+let end_event ~pid ~tid ~ts (s : Span.t) =
+  Json.Obj
+    [ ("name", Json.Str s.Span.name);
+      ("ph", Json.Str "E");
+      ("ts", usec ts);
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid)) ]
+
+let thread_name_event ~pid ~tid =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ])
+    ]
+
+(* One tid's balanced B/E sequence (timestamp order). *)
+let tid_events ~pid ~tid spans =
+  let ordered =
+    List.sort
+      (fun (a : Span.t) (b : Span.t) ->
+        if a.Span.start <> b.Span.start then compare a.Span.start b.Span.start
+        else compare b.Span.stop a.Span.stop)
+      spans
+  in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let stack = ref [] in
+  let rec close_until start =
+    match !stack with
+    | top :: rest when top.Span.stop <= start ->
+      emit (end_event ~pid ~tid ~ts:top.Span.stop top);
+      stack := rest;
+      close_until start
+    | _ -> ()
+  in
+  List.iter
+    (fun (s : Span.t) ->
+      close_until s.Span.start;
+      emit (begin_event ~pid ~tid s);
+      stack := s :: !stack)
+    ordered;
+  List.iter (fun s -> emit (end_event ~pid ~tid ~ts:s.Span.stop s)) !stack;
+  List.rev !out
+
+let to_json ?(pid = 0) t =
+  let by_tid : (int, Span.t list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (tid, s) ->
+      Hashtbl.replace by_tid tid
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_tid tid)))
+    (spans t);
+  let tids =
+    Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid [] |> List.sort compare
+  in
+  let events =
+    List.concat_map
+      (fun tid ->
+        thread_name_event ~pid ~tid
+        :: tid_events ~pid ~tid (Hashtbl.find by_tid tid))
+      tids
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
+
+let to_string ?pid t = Json.to_string (to_json ?pid t) ^ "\n"

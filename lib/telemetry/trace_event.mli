@@ -1,0 +1,35 @@
+(** Chrome/Perfetto trace-event export for spans.
+
+    A collector gathers completed spans with the id of the domain that
+    closed them ({!sink} is a {!Span.sink.Callback}, so attribution is
+    free) and renders the Trace Event Format JSON that
+    [ui.perfetto.dev] / [chrome://tracing] load directly: a ["B"]/["E"]
+    event pair per span with [tid] = domain id, [ts] in microseconds on
+    the span clock, attributes as the begin event's [args], plus one
+    [thread_name] metadata event per domain.
+
+    Per tid the emitted sequence is balanced and timestamp-ordered by
+    construction (spans on one domain always nest in time; the renderer
+    replays them outermost-first with an open-span sweep), so a
+    consumer that matches B/E pairs with a stack never underflows.
+
+    Selected on the CLI with [--trace FILE --trace-format perfetto]. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Span.sink
+(** The collecting sink; domain-safe (a mutex-guarded buffer). Combine
+    with other sinks via {!Span.sink.Multi}. *)
+
+val spans : t -> (int * Span.t) list
+(** [(domain id, span)] in completion order. *)
+
+val to_json : ?pid:int -> t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]; [pid] defaults
+    to 0. *)
+
+val to_string : ?pid:int -> t -> string
+(** [to_json] printed, newline-terminated — the file to open in
+    Perfetto. *)

@@ -4,7 +4,20 @@ type t = {
   nonempty : Condition.t;
   mutable closing : bool;
   mutable workers : unit Domain.t list;
+  (* Introspection counters, scraped lock-free by the monitor while the
+     pool runs: queued -> in_flight on dequeue, in_flight -> completed
+     when the task settles (even by exception). *)
+  n_queued : int Atomic.t;
+  n_in_flight : int Atomic.t;
+  n_completed : int Atomic.t;
 }
+
+type stats = { queued : int; in_flight : int; completed : int }
+
+let stats t =
+  { queued = Atomic.get t.n_queued;
+    in_flight = Atomic.get t.n_in_flight;
+    completed = Atomic.get t.n_completed }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -14,7 +27,10 @@ let rec worker_loop t =
   Mutex.lock t.lock;
   let rec next () =
     match Queue.take_opt t.queue with
-    | Some task -> Some task
+    | Some task ->
+      Atomic.decr t.n_queued;
+      Atomic.incr t.n_in_flight;
+      Some task
     | None ->
       if t.closing then None
       else begin
@@ -27,7 +43,9 @@ let rec worker_loop t =
   match task with
   | None -> ()
   | Some task ->
-    task ();
+    Fun.protect task ~finally:(fun () ->
+        Atomic.decr t.n_in_flight;
+        Atomic.incr t.n_completed);
     worker_loop t
 
 let create n =
@@ -37,7 +55,10 @@ let create n =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       closing = false;
-      workers = [] }
+      workers = [];
+      n_queued = Atomic.make 0;
+      n_in_flight = Atomic.make 0;
+      n_completed = Atomic.make 0 }
   in
   t.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
@@ -51,6 +72,7 @@ let submit t task =
     invalid_arg "Pool: shut down"
   end;
   Queue.push task t.queue;
+  Atomic.incr t.n_queued;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 

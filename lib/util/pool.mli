@@ -28,6 +28,18 @@ val create : int -> t
 val size : t -> int
 (** Number of worker domains. *)
 
+type stats = { queued : int; in_flight : int; completed : int }
+
+val stats : t -> stats
+(** A consistent-enough live view of the pool, backed by the same atomics
+    a monitor scrapes: [queued] tasks not yet picked up, [in_flight] tasks
+    running on a worker right now, [completed] tasks that settled (normally
+    or by exception) since the pool was created. The three counters are
+    read independently, so a task mid-handoff may be momentarily counted in
+    neither [queued] nor [in_flight]; once every submitted task settles,
+    [queued = 0], [in_flight = 0] and [completed] equals the number of
+    submissions. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
 

@@ -164,9 +164,15 @@ let chain_query n =
     rels;
   Query.Builder.build b
 
+(* Distinct counts stay below the smallest base cardinality (10^3) so
+   [Cost_model.clamp_distinct] never binds. Once a d exceeds a child's
+   cardinality the clamp makes selectivities depend on the subplan that
+   produced the child, the model stops being additive over masks, and
+   DP's per-mask best subplan is no longer globally optimal — the
+   property below is only a theorem in the unclamped regime. *)
 let prop_dp_chain_matches_brute_force =
-  QCheck.Test.make ~name:"DP == brute force on 4-chains" ~count:25
-    QCheck.(array_of_size (QCheck.Gen.return 6) (int_range 1 5_000))
+  QCheck.Test.make ~name:"DP == brute force on 4-chains" ~count:100
+    QCheck.(array_of_size (QCheck.Gen.return 6) (int_range 1 999))
     (fun ds ->
       QCheck.assume (Array.length ds = 6);
       let q = chain_query 4 in

@@ -80,6 +80,50 @@ let test_shutdown_drains_and_rejects () =
   (* Idempotent. *)
   Pool.shutdown p
 
+(* [map] returns when the last result is delivered, which happens inside
+   the task body — the worker's settle accounting (in_flight down,
+   completed up) runs just after. The counters are monitor introspection,
+   not a synchronization point, so give them a moment to drain. *)
+let settled_stats p ~completed =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    let st = Pool.stats p in
+    if
+      (st.Pool.in_flight = 0 && st.Pool.completed = completed)
+      || Unix.gettimeofday () > deadline
+    then st
+    else begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let test_stats_drain () =
+  Pool.with_pool 3 (fun p ->
+      let st0 = Pool.stats p in
+      Alcotest.(check int) "starts with nothing queued" 0 st0.Pool.queued;
+      Alcotest.(check int) "starts with nothing in flight" 0
+        st0.Pool.in_flight;
+      Alcotest.(check int) "starts with nothing completed" 0
+        st0.Pool.completed;
+      let n = 64 in
+      let _ = Pool.map p (fun x -> x + 1) (List.init n Fun.id) in
+      let st = settled_stats p ~completed:n in
+      Alcotest.(check int) "queued drained" 0 st.Pool.queued;
+      Alcotest.(check int) "in_flight drained" 0 st.Pool.in_flight;
+      Alcotest.(check int) "completed = submissions" n st.Pool.completed;
+      (* Failing tasks still count as completed (they left the queue and
+         finished executing). *)
+      (match Pool.map p (fun () -> raise Exit) [ (); () ] with
+      | _ -> Alcotest.fail "expected Exit"
+      | exception Exit -> ());
+      let st' = settled_stats p ~completed:(n + 2) in
+      Alcotest.(check int) "queued drained after failure" 0 st'.Pool.queued;
+      Alcotest.(check int) "in_flight drained after failure" 0
+        st'.Pool.in_flight;
+      Alcotest.(check int) "failures complete too" (n + 2) st'.Pool.completed)
+
 let test_concurrent_maps_on_one_pool () =
   (* Two domains share one pool; per-call completion state must not cross
      wires. *)
@@ -106,5 +150,6 @@ let () =
             test_pool_usable_after_failure;
           Alcotest.test_case "iter" `Quick test_iter_effects;
           Alcotest.test_case "shutdown" `Quick test_shutdown_drains_and_rejects;
+          Alcotest.test_case "stats drain to zero" `Quick test_stats_drain;
           Alcotest.test_case "concurrent maps" `Quick
             test_concurrent_maps_on_one_pool ] ) ]

@@ -184,6 +184,33 @@ let test_jsonl_roundtrip () =
   | Ok spans ->
     Alcotest.failf "expected two spans, got %d" (List.length spans)
 
+let test_jsonl_flush_mid_run () =
+  let file = Filename.temp_file "monsoon_trace" ".jsonl" in
+  let oc = open_out file in
+  let sink = Span.Jsonl oc in
+  let tr = Span.make sink in
+  Span.with_span tr "first" (fun _ -> ());
+  (* Without closing the channel, a flush must make the completed span
+     visible to a concurrent reader — this is what lets `tail -f` follow
+     a long run. *)
+  Span.flush sink;
+  (match Span.load_jsonl file with
+  | Ok [ s ] -> Alcotest.(check string) "span visible" "first" s.Span.name
+  | Ok spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+  | Error e -> Alcotest.fail e);
+  Span.with_span tr "second" (fun _ -> ());
+  Span.flush (Span.Multi [ Span.Null; sink ]);
+  (match Span.load_jsonl file with
+  | Ok spans ->
+    Alcotest.(check int) "both spans visible after Multi flush" 2
+      (List.length spans)
+  | Error e -> Alcotest.fail e);
+  close_out oc;
+  (* Ctx.flush reaches the context's sink; flushing Null/Memory is a
+     no-op rather than an error. *)
+  Ctx.flush (Ctx.null ());
+  Span.flush (Span.Memory (Span.memory_buffer ()))
+
 (* --- Snapshots --- *)
 
 let test_snapshot_reports () =
@@ -358,7 +385,9 @@ let () =
           Alcotest.test_case "exception closes span" `Quick
             test_span_exception_closes;
           Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_noop;
-          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip ] );
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl flush mid-run" `Quick
+            test_jsonl_flush_mid_run ] );
       ( "snapshot",
         [ Alcotest.test_case "metrics reports" `Quick test_snapshot_reports;
           Alcotest.test_case "breakdown groups spans" `Quick
