@@ -77,11 +77,12 @@ let mcts_cfg =
 let synthetic_rows =
   let outcome cost =
     { Strategy.cost; timed_out = false; wall = 0.0; plan_time = 0.0;
-      stats_cost = 0.0; result_card = 0.0; plan = "" }
+      stats_cost = 0.0; result_card = 0.0; degraded = 0; plan = "" }
   in
   let cells f =
     List.init 60 (fun i ->
-        { Runner.query = Printf.sprintf "q%d" i; outcome = Some (outcome (f i)) })
+        { Runner.query = Printf.sprintf "q%d" i; outcome = Some (outcome (f i));
+          error = None; attempts = 1 })
   in
   ( { Runner.strategy = "baseline"; cells = cells (fun i -> float_of_int (100 + i)) },
     { Runner.strategy = "other"; cells = cells (fun i -> float_of_int (90 + (2 * i))) } )
@@ -185,7 +186,35 @@ let tests =
              let r = Recorder.create () in
              for i = 1 to 100 do
                Recorder.record r (Recorder.Note { step = i; message = "x" })
-             done)) ]
+             done));
+      (* Fault plane: the disabled checkpoint must be a single branch
+         (compare against armed-at-rate-0, which also only branches, and
+         armed-with-a-draw, which pays one RNG draw per checkpoint). *)
+      Test.make ~name:"fault/disabled-checkpoint-x100"
+        (Staged.stage (fun () ->
+             for _ = 1 to 100 do
+               Fault.udf Fault.disabled;
+               Fault.row Fault.disabled
+             done));
+      Test.make ~name:"fault/armed-rate0-checkpoint-x100"
+        (Staged.stage
+           (let f = Fault.plan Fault.no_faults (Rng.create 3) in
+            fun () ->
+              for _ = 1 to 100 do
+                Fault.udf f;
+                Fault.row f
+              done));
+      Test.make ~name:"fault/armed-draw-checkpoint-x100"
+        (Staged.stage
+           (let f =
+              Fault.plan
+                { Fault.no_faults with Fault.udf_rate = 1e-12 }
+                (Rng.create 3)
+            in
+            fun () ->
+              for _ = 1 to 100 do
+                Fault.udf f
+              done)) ]
 
 (* --- Worker-pool scaling: one small suite, sequential vs parallel ---
 
@@ -223,7 +252,8 @@ let measure_suite_speedup ~jobs =
   let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
   let strategies = [ Strategy.defaults; Strategy.greedy; Strategy.sampling ] in
   let config jobs =
-    { Runner.budget = 1e6;
+    { Runner.default_config with
+      Runner.budget = 1e6;
       seed = 11;
       queries = Some [ "tq1"; "tq2"; "tq12" ];
       jobs }
@@ -258,7 +288,8 @@ let measure_sampler_overhead () =
   let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
   let strategies = [ Strategy.defaults; Strategy.greedy; Strategy.sampling ] in
   let config =
-    { Runner.budget = 1e6;
+    { Runner.default_config with
+      Runner.budget = 1e6;
       seed = 11;
       queries = Some [ "tq1"; "tq2"; "tq12" ];
       jobs = 1 }

@@ -379,6 +379,104 @@ let explain_cmd =
     Term.(
       const run $ quick_flag $ dot_arg $ json_arg $ experiment_arg $ query_arg)
 
+let chaos_cmd =
+  let doc =
+    "Run a benchmark experiment's full suite with the fault plane armed — \
+     UDF faults, poisoned rows, failed hash-join builds, killed pool \
+     workers — and print a survival report: per-implementation OK / timeout \
+     / degraded / retried / quarantined counts plus the resilience \
+     counters. The report is deterministic: the same --seed and --faults \
+     produce byte-identical output across runs and --jobs values. \
+     EXPERIMENT accepts the same ids as `explain'."
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt string "udf:0.05"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated class:value pairs, e.g. \
+             $(b,udf:0.05,worker:1). Classes: $(b,udf), $(b,row), $(b,build) \
+             (firing probabilities in [0,1]) and $(b,worker) (pool workers \
+             to kill and respawn; needs --jobs > 1).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Override the profile's suite seed (fault firing included).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Runner.default_config.Runner.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts for a faulted cell before it is quarantined \
+             (deterministic backoff, salted per-attempt RNG).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Cooperative wall-clock deadline per cell attempt; expiry \
+             yields a timed-out cell. Wall-clock bounds trade away \
+             run-to-run determinism.")
+  in
+  (* Default 2 (not 1): chaos runs should exercise the pool path, so a
+     worker-kill spec has workers to kill without extra flags. *)
+  let chaos_jobs_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains running cells (default 2, so worker kills have a pool \
+             to act on; 0 = one per core). The report is identical for \
+             every value.")
+  in
+  let run quick trace trace_format serve interval metrics faults seed retries
+      deadline jobs id =
+    match Monsoon_util.Fault.spec_of_string faults with
+    | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
+    | Ok spec ->
+      let inner = ref (Ok ()) in
+      let outer =
+        with_telemetry ~trace ~trace_format ~keep:false ~serve ~interval
+          ~watch:false (fun tel _ ->
+            let base = profile_of_flag quick in
+            let profile =
+              { base with
+                Experiments.ctx = tel;
+                jobs;
+                seed = Option.value seed ~default:base.Experiments.seed }
+            in
+            match
+              Experiments.chaos profile ~experiment:id ~faults:spec ~retries
+                ~cell_deadline:deadline
+            with
+            | Error msg -> inner := Error msg
+            | Ok report ->
+              print_string report;
+              if metrics then begin
+                print_newline ();
+                print_string (metrics_report tel)
+              end)
+      in
+      (match outer with Ok () -> !inner | Error _ as e -> e)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ quick_flag $ trace_arg $ trace_format_arg $ serve_arg
+      $ interval_arg $ metrics_arg $ faults_arg $ seed_arg $ retries_arg
+      $ deadline_arg $ chaos_jobs_arg $ id_arg)
+
 let demo_cmd =
   let doc =
     "Walk through the paper's Sec 2.3 example: the MDP, the chosen actions, \
@@ -395,7 +493,8 @@ let demo_cmd =
 let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
   Cmd.group (Cmd.info "monsoon" ~doc)
-    [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; demo_cmd ]
+    [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; chaos_cmd;
+      demo_cmd ]
 
 let () =
   match Cmd.eval_value main with

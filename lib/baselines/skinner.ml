@@ -63,7 +63,7 @@ let left_deep_expr order =
   | first :: rest ->
     List.fold_left (fun acc i -> Expr.join acc (Expr.base i)) (Expr.base first) rest
 
-let run config ~budget catalog q =
+let run ?fault ?(deadline = Deadline.none) config ~budget catalog q =
   let n = Query.n_rels q in
   let root = fresh_node () in
   let total_cost = ref 0.0 in
@@ -71,7 +71,11 @@ let run config ~budget catalog q =
   let slice = ref config.initial_slice in
   let result = ref None in
   let overall_exhausted () = !total_cost >= budget in
-  while !result = None && not (overall_exhausted ()) do
+  (* Episode boundary doubles as the deadline batch boundary: an expired
+     token ends the search with a timed-out outcome instead of raising. *)
+  while
+    !result = None && (not (overall_exhausted ())) && not (Deadline.expired deadline)
+  do
     incr episodes;
     (* Descend the prefix tree to pick a full order. *)
     let rec build node used_mask remaining path =
@@ -97,10 +101,12 @@ let run config ~budget catalog q =
     (* Fresh executor every episode: a batch engine restarts from scratch,
        discarding all partial work. *)
     let this_slice = Float.min !slice (budget -. !total_cost) in
-    let exec = Executor.create catalog q (Executor.budget this_slice) in
+    let exec =
+      Executor.create ?fault ~deadline catalog q (Executor.budget this_slice)
+    in
     let reward =
       match Executor.execute exec plan with
-      | exception Executor.Timeout ->
+      | exception (Executor.Timeout | Deadline.Expired) ->
         total_cost := !total_cost +. Executor.total_produced exec;
         (* Progress-based reward: how deep did the pipeline get? *)
         let completed =

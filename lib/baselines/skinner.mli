@@ -27,4 +27,11 @@ type outcome = {
   result_card : float;
 }
 
-val run : config -> budget:float -> Catalog.t -> Query.t -> outcome
+val run :
+  ?fault:Monsoon_util.Fault.t ->
+  ?deadline:Monsoon_util.Deadline.t ->
+  config -> budget:float -> Catalog.t -> Query.t -> outcome
+(** [?fault] arms the per-episode executor's checkpoints; an injected
+    fault escapes (the harness retries). [?deadline] is checked at every
+    episode boundary and inside the executor; expiry yields a timed-out
+    outcome. Both default off. *)

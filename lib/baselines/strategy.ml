@@ -10,6 +10,7 @@ type outcome = {
   plan_time : float;
   stats_cost : float;
   result_card : float;
+  degraded : int;
   plan : string;
 }
 
@@ -18,25 +19,34 @@ type t = {
   applicable : Query.t -> bool;
   run :
     ?ctx:Monsoon_telemetry.Ctx.t ->
+    ?fault:Fault.t ->
+    ?deadline:Deadline.t ->
     rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
 }
 
 let always_applicable _ = true
 
 (* Execute a chosen plan, charging [stats_cost] up front against the
-   budget. *)
-let execute_plan ?ctx ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
+   budget. An expired deadline is a timeout; an injected fault propagates
+   (plan-once strategies have no alternative plan — the harness retries the
+   whole cell). *)
+let execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time ~stats_cost ~budget
+    catalog q plan =
   let bud = Executor.budget (budget -. stats_cost) in
-  let exec = Executor.create ?ctx catalog q bud in
-  match Executor.execute exec plan with
-  | exception Executor.Timeout ->
+  let exec = Executor.create ?ctx ?fault ?deadline catalog q bud in
+  let timed_out_outcome () =
     { cost = budget;
       timed_out = true;
       wall = Timer.now () -. t0;
       plan_time;
       stats_cost;
       result_card = 0.0;
+      degraded = 0;
       plan = Expr.describe q plan }
+  in
+  match Executor.execute exec plan with
+  | exception Executor.Timeout -> timed_out_outcome ()
+  | exception Deadline.Expired -> timed_out_outcome ()
   | cost, _obs ->
     let result_card =
       match Executor.materialized exec (Query.all_mask q) with
@@ -49,6 +59,7 @@ let execute_plan ?ctx ~t0 ~plan_time ~stats_cost ~budget catalog q plan =
       plan_time;
       stats_cost;
       result_card;
+      degraded = 0;
       plan = Expr.describe q plan }
 
 (* A plan-once strategy: build a statistics source, run the DP, execute. *)
@@ -56,13 +67,13 @@ let classical name ~applicable source =
   { name;
     applicable;
     run =
-      (fun ?ctx ~rng ~budget catalog q ->
+      (fun ?ctx ?fault ?deadline ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let (src : Stats_source.t), src_time =
           Timer.time (fun () -> source rng catalog q)
         in
         let plan, dp_time = Timer.time (fun () -> Planner.best_plan q src.Stats_source.env) in
-        execute_plan ?ctx ~t0 ~plan_time:(src_time +. dp_time)
+        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time:(src_time +. dp_time)
           ~stats_cost:src.Stats_source.acquisition_cost ~budget catalog q plan) }
 
 let postgres =
@@ -118,25 +129,29 @@ let greedy =
   { name = "Greedy";
     applicable = always_applicable;
     run =
-      (fun ?ctx ~rng:_ ~budget catalog q ->
+      (fun ?ctx ?fault ?deadline ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
         let plan, plan_time = Timer.time (fun () -> greedy_plan catalog q) in
-        execute_plan ?ctx ~t0 ~plan_time ~stats_cost:0.0 ~budget catalog q
-          plan) }
+        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time ~stats_cost:0.0
+          ~budget catalog q plan) }
 
 let skinner =
   { name = "SkinnerDB";
     applicable = always_applicable;
     run =
-      (fun ?ctx:_ ~rng ~budget catalog q ->
+      (fun ?ctx:_ ?fault ?deadline ~rng ~budget catalog q ->
         let t0 = Timer.now () in
-        let out = Skinner.run (Skinner.default_config ~rng) ~budget catalog q in
+        let out =
+          Skinner.run ?fault ?deadline (Skinner.default_config ~rng) ~budget
+            catalog q
+        in
         { cost = out.Skinner.cost;
           timed_out = out.Skinner.timed_out;
           wall = Timer.now () -. t0;
           plan_time = 0.0;
           stats_cost = 0.0;
           result_card = out.Skinner.result_card;
+          degraded = 0;
           plan = Printf.sprintf "%d episodes" out.Skinner.episodes }) }
 
 let monsoon ?(iterations = 2000) ?(scale_with_size = true)
@@ -144,7 +159,8 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
   { name = "Monsoon";
     applicable = always_applicable;
     run =
-      (fun ?ctx ~rng ~budget catalog q ->
+      (fun ?ctx ?(fault = Fault.disabled) ?(deadline = Deadline.none) ~rng
+           ~budget catalog q ->
         (* MCTS effort scales with the size of the join-order problem: the
            action space roughly squares with the instance count. *)
         let iterations =
@@ -165,7 +181,9 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
             mcts;
             mcts_workers;
             budget;
-            max_steps = 200 }
+            max_steps = 200;
+            fault;
+            deadline }
         in
         let out = Monsoon_core.Driver.run ?ctx config catalog q in
         { cost = out.Monsoon_core.Driver.cost;
@@ -174,16 +192,17 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
           plan_time = out.Monsoon_core.Driver.mcts_time;
           stats_cost = out.Monsoon_core.Driver.stats_cost;
           result_card = out.Monsoon_core.Driver.result_card;
+          degraded = out.Monsoon_core.Driver.degraded;
           plan = String.concat " | " out.Monsoon_core.Driver.actions }) }
 
 let fixed_plan ~name plan_of =
   { name;
     applicable = always_applicable;
     run =
-      (fun ?ctx ~rng:_ ~budget catalog q ->
+      (fun ?ctx ?fault ?deadline ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
-        execute_plan ?ctx ~t0 ~plan_time:0.0 ~stats_cost:0.0 ~budget
-          catalog q (plan_of q)) }
+        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time:0.0 ~stats_cost:0.0
+          ~budget catalog q (plan_of q)) }
 
 let standard_seven prior =
   [ postgres; defaults; greedy; monsoon prior; on_demand; sampling; skinner ]

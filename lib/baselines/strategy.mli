@@ -13,6 +13,9 @@ type outcome = {
   plan_time : float;  (** seconds spent planning (MCTS / DP / sampling) *)
   stats_cost : float;  (** objects attributable to statistics gathering *)
   result_card : float;
+  degraded : int;
+      (** EXECUTE steps that survived a fault by degrading to a fallback
+          plan (only Monsoon degrades; 0 for every baseline) *)
   plan : string;  (** human-readable plan or action trace *)
 }
 
@@ -23,10 +26,17 @@ type t = {
           with multi-instance UDFs) *)
   run :
     ?ctx:Monsoon_telemetry.Ctx.t ->
+    ?fault:Monsoon_util.Fault.t ->
+    ?deadline:Monsoon_util.Deadline.t ->
     rng:Monsoon_util.Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
       (** [?ctx] threads the observability context (metrics, spans,
           recorder) into the executor — and, for Monsoon, the driver and
-          MCTS; omitting it keeps the strategy silent. *)
+          MCTS; omitting it keeps the strategy silent. [?fault] arms the
+          executor's fault checkpoints; Monsoon degrades to a fallback
+          plan on injection, every other strategy lets
+          [Monsoon_util.Fault.Injected] escape for the harness to retry.
+          [?deadline] cooperatively bounds the run; expiry reports a
+          timed-out outcome. Both default off. *)
 }
 
 val postgres : t
@@ -58,6 +68,8 @@ val fixed_plan : name:string -> (Query.t -> Expr.t) -> t
 
 val execute_plan :
   ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?fault:Monsoon_util.Fault.t ->
+  ?deadline:Monsoon_util.Deadline.t ->
   t0:float ->
   plan_time:float ->
   stats_cost:float ->

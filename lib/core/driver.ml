@@ -12,6 +12,8 @@ type config = {
   mcts_workers : int;
   budget : float;
   max_steps : int;
+  fault : Fault.t;
+  deadline : Deadline.t;
 }
 
 let default_config ~rng =
@@ -21,7 +23,9 @@ let default_config ~rng =
     mcts = Monsoon_mcts.Mcts.default_config ~rng;
     mcts_workers = 1;
     budget = 5e7;
-    max_steps = 200 }
+    max_steps = 200;
+    fault = Fault.disabled;
+    deadline = Deadline.none }
 
 type outcome = {
   cost : float;
@@ -31,6 +35,7 @@ type outcome = {
   stats_cost : float;
   exec_cost : float;
   executes : int;
+  degraded : int;
   actions : string list;
   result_card : float;
 }
@@ -114,19 +119,29 @@ let run ?ctx config catalog query =
   let c_replans = Ctx.counter tel "driver.replans" in
   let c_executes = Ctx.counter tel "driver.executes" in
   let c_steps = Ctx.counter tel "driver.steps" in
+  let c_degraded = Ctx.counter tel "driver.degraded" in
   let h_qerr = Ctx.histogram tel "driver.q_error" in
   let h_replans = Ctx.histogram tel "driver.replans_per_query" in
   let run_mcts = ref 0.0 in
   let run_replans = ref 0 in
   let run_executes = ref 0 in
   let run_steps = ref 0 in
+  let run_degraded = ref 0 in
   Ctx.with_span tel "driver.run"
     ~attrs:[ ("query", Span.Str (Query.name query)) ]
   @@ fun run_span ->
   let t0 = Timer.now () in
   let ctx = Mdp.make_ctx catalog query in
   let exec =
-    Executor.create ~ctx:tel catalog query (Executor.budget config.budget)
+    Executor.create ~ctx:tel ~fault:config.fault ~deadline:config.deadline
+      catalog query (Executor.budget config.budget)
+  in
+  (* The cell deadline also bounds the planner, unless the caller already
+     set a tighter one on the MCTS config itself. *)
+  let mcts_cfg =
+    if Deadline.is_none config.mcts.Monsoon_mcts.Mcts.deadline then
+      { config.mcts with Monsoon_mcts.Mcts.deadline = config.deadline }
+    else config.mcts
   in
   let total_cost = ref 0.0 in
   let trace = ref [] in
@@ -165,6 +180,7 @@ let run ?ctx config catalog query =
       stats_cost;
       exec_cost = !total_cost -. stats_cost;
       executes;
+      degraded = !run_degraded;
       actions = List.rev !trace;
       result_card }
   in
@@ -176,6 +192,10 @@ let run ?ctx config catalog query =
     | exception Executor.Timeout ->
       Recorder.record recorder
         (Recorder.Executed { step = 0; nodes = []; cost = 0.0; timed_out = true });
+      finish ~timed_out:true (Mdp.init_state ctx)
+    | exception Deadline.Expired ->
+      Recorder.record recorder
+        (Recorder.Note { step = 0; message = "deadline expired mid-scan" });
       finish ~timed_out:true (Mdp.init_state ctx)
     | c, obs ->
       if Recorder.enabled recorder then
@@ -210,12 +230,20 @@ let run ?ctx config catalog query =
              { step = steps; message = "step limit reached before completion" });
         finish ~timed_out:true state
       end
+      else if Deadline.expired config.deadline then begin
+        (* The planner returns early (and the executor raises) under an
+           expired token; this check keeps plan-edit-only step chains from
+           spinning through the remaining step budget. *)
+        Recorder.record recorder
+          (Recorder.Note { step = steps; message = "deadline expired" });
+        finish ~timed_out:true state
+      end
       else begin
         let planned, mcts_dt =
           Timer.time (fun () ->
               Monsoon_mcts.Mcts.plan ~ctx:tel ~workers:config.mcts_workers
                 ~problem_of:(fun rng -> Simulator.problem (make_sim rng))
-                config.mcts problem state)
+                mcts_cfg problem state)
         in
         Metric.Counter.add c_mcts mcts_dt;
         Metric.Counter.inc c_replans;
@@ -282,6 +310,67 @@ let run ?ctx config catalog query =
                        cost = 0.0;
                        timed_out = true });
               finish ~timed_out:true state
+            | exception Deadline.Expired ->
+              Recorder.record recorder
+                (Recorder.Note
+                   { step = steps; message = "deadline expired mid-execute" });
+              finish ~timed_out:true state
+            | exception Fault.Injected reason -> (
+              (* Degradation ladder: the planned EXECUTE died to a fault, so
+                 fall back to the classical left-deep plan over all instances
+                 — it reuses every intermediate the executor already cached.
+                 If the fallback faults too, re-raise and let the harness
+                 retry the whole cell. *)
+              Metric.Counter.inc c_degraded;
+              incr run_degraded;
+              let fallback =
+                List.fold_left
+                  (fun acc i -> Expr.join acc (Expr.base i))
+                  (Expr.base 0)
+                  (List.init (Query.n_rels query - 1) (fun i -> i + 1))
+              in
+              Recorder.record recorder
+                (Recorder.Degraded
+                   { step = steps;
+                     reason;
+                     fallback = Expr.describe query fallback });
+              match
+                Ctx.with_span tel "driver.degrade"
+                  ~attrs:
+                    [ ("step", Span.Int steps); ("reason", Span.Str reason) ]
+                @@ fun _ -> Executor.execute exec fallback
+              with
+              | exception Executor.Timeout ->
+                Recorder.record recorder
+                  (Recorder.Executed
+                     { step = steps; nodes = []; cost = 0.0; timed_out = true });
+                finish ~timed_out:true state
+              | exception Deadline.Expired ->
+                Recorder.record recorder
+                  (Recorder.Note
+                     { step = steps;
+                       message = "deadline expired during degraded execute" });
+                finish ~timed_out:true state
+              | exception Fault.Injected r2 ->
+                Recorder.record recorder
+                  (Recorder.Note
+                     { step = steps;
+                       message = "fallback plan also faulted: " ^ r2 });
+                raise (Fault.Injected r2)
+              | c, obs ->
+                absorb_observations ~recorder ~step:steps query state.Mdp.stats
+                  obs;
+                total_cost := !total_cost +. c;
+                if Recorder.enabled recorder then
+                  Recorder.record recorder
+                    (Recorder.Executed
+                       { step = steps;
+                         nodes =
+                           exec_nodes query state.Mdp.stats ~predictions
+                             ~obs_nodes:obs.Executor.obs_nodes fallback;
+                         cost = c;
+                         timed_out = false });
+                finish ~timed_out:false state)
             | c ->
               total_cost := !total_cost +. c;
               let nodes =

@@ -29,11 +29,21 @@ type config = {
           choice. 1 = sequential planning (the default). *)
   budget : float;  (** tuple budget standing in for the paper's 20-min timeout *)
   max_steps : int;  (** safety valve on the number of MDP actions *)
+  fault : Monsoon_util.Fault.t;
+      (** fault plan threaded into the executor; an EXECUTE step killed by
+          an injected fault degrades to the classical left-deep plan (a
+          [Degraded] recorder event + [driver.degraded]) instead of
+          crashing the run. Default {!Monsoon_util.Fault.disabled}. *)
+  deadline : Monsoon_util.Deadline.t;
+      (** cooperative wall-clock bound on the whole run: checked between
+          MDP steps, per executor plan node, and between MCTS iterations
+          (unless [mcts.deadline] is already set); expiry yields a normal
+          timed-out outcome. Default {!Monsoon_util.Deadline.none}. *)
 }
 
 val default_config : rng:Monsoon_util.Rng.t -> config
 (** Spike-and-slab prior, default MCTS, 1 MCTS worker, budget 5e7,
-    200 steps. *)
+    200 steps, no faults, no deadline. *)
 
 type outcome = {
   cost : float;  (** intermediate objects charged (the paper's cost) *)
@@ -43,6 +53,9 @@ type outcome = {
   stats_cost : float;  (** Σ-pass objects (Table 8 "Σ") *)
   exec_cost : float;  (** join objects (Table 8 "Execution") *)
   executes : int;  (** number of EXECUTE transitions taken *)
+  degraded : int;
+      (** EXECUTE steps that died to a fault and fell back to the
+          left-deep plan *)
   actions : string list;  (** the action trace, for inspection *)
   result_card : float;  (** cardinality of the final result; 0 on timeout *)
 }

@@ -1,3 +1,4 @@
+open Monsoon_util
 open Monsoon_storage
 open Monsoon_relalg
 open Monsoon_sketch
@@ -18,6 +19,7 @@ type counters = {
   m_emitted : Metric.Counter.t;  (* join / cross-product output rows *)
   m_sigma : Metric.Counter.t;  (* objects processed by Σ passes *)
   m_budget : Metric.Counter.t;  (* budget consumed *)
+  m_fault : Metric.Counter.t;  (* injected faults that escaped [execute] *)
 }
 
 type t = {
@@ -27,11 +29,14 @@ type t = {
   store : (Relset.t, Intermediate.t) Hashtbl.t;
   mutable produced : float;
   mutable sigma_total : float;
+  fault : Fault.t;
+  deadline : Deadline.t;
   tel : Ctx.t;
   m : counters;
 }
 
-let create ?ctx catalog query bud =
+let create ?ctx ?(fault = Fault.disabled) ?(deadline = Deadline.none) catalog
+    query bud =
   let tel = match ctx with Some t -> t | None -> Ctx.null () in
   let m =
     { m_scanned = Ctx.counter tel "exec.tuples_scanned";
@@ -39,7 +44,8 @@ let create ?ctx catalog query bud =
       m_probed = Ctx.counter tel "exec.tuples_probed";
       m_emitted = Ctx.counter tel "exec.tuples_emitted";
       m_sigma = Ctx.counter tel "exec.sigma_objects";
-      m_budget = Ctx.counter tel "exec.budget_spent" }
+      m_budget = Ctx.counter tel "exec.budget_spent";
+      m_fault = Ctx.counter tel "fault.injected" }
   in
   { catalog;
     query;
@@ -47,6 +53,8 @@ let create ?ctx catalog query bud =
     store = Hashtbl.create 16;
     produced = 0.0;
     sigma_total = 0.0;
+    fault;
+    deadline;
     tel;
     m }
 
@@ -72,9 +80,17 @@ let spend t n =
   if t.bud.remaining < 0.0 then raise Timeout
 
 let compile_term t inter tm =
-  Term.compile tm
-    ~col_index:(fun ~rel ~col ->
-      Intermediate.col_index t.query t.catalog inter ~rel ~col)
+  let ev =
+    Term.compile tm
+      ~col_index:(fun ~rel ~col ->
+        Intermediate.col_index t.query t.catalog inter ~rel ~col)
+  in
+  (* UDF checkpoint: the wrapper exists only when a plan is armed, so the
+     disabled path keeps the bare compiled evaluator. *)
+  if Fault.armed t.fault then (fun row ->
+    Fault.udf t.fault;
+    ev row)
+  else ev
 
 (* Predicate checkers over a single intermediate's rows. *)
 let compile_filter t inter pid =
@@ -94,6 +110,9 @@ let scan_base t rel =
     let table = Catalog.find t.catalog (Query.rel_by_id t.query rel).Query.table in
     let raw = Table.rows table in
     Metric.Counter.add t.m.m_scanned (float_of_int (Array.length raw));
+    (* Row checkpoint: one draw per scanned base row. A poisoned row aborts
+       the scan — corrupt data is detected, not silently propagated. *)
+    if Fault.armed t.fault then Array.iter (fun _ -> Fault.row t.fault) raw;
     let inter0 = Intermediate.of_base t.query t.catalog ~rows:raw rel in
     let filters =
       List.map (compile_filter t inter0) (Query.select_preds_of_rel t.query rel)
@@ -180,6 +199,8 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
       (float_of_int (Intermediate.cardinality build));
     Metric.Counter.add t.m.m_probed
       (float_of_int (Intermediate.cardinality probe));
+    (* Build checkpoint: one draw per hash-join build. *)
+    Fault.build t.fault;
     let table = Hashtbl.create (Intermediate.cardinality build * 2) in
     Array.iter
       (fun row -> Hashtbl.add table (key_of keyers_build row) row)
@@ -241,6 +262,8 @@ let execute t expr =
     obs_nodes := (e, c) :: !obs_nodes
   in
   let rec go ~is_root e : Intermediate.t =
+    (* Batch boundary: one cooperative deadline check per plan node. *)
+    Deadline.check t.deadline;
     match e with
     | Expr.Stats inner ->
       let inter = go ~is_root inner in
@@ -290,6 +313,9 @@ let execute t expr =
         obs_stats_cost = !stats_cost;
         obs_nodes = List.rev !obs_nodes } )
   | exception e ->
+    (match e with
+    | Fault.Injected _ -> Metric.Counter.inc t.m.m_fault
+    | _ -> ());
     close_attrs ();
     raise e)
 

@@ -28,14 +28,29 @@ type t
     multiple EXECUTE steps of a Monsoon run. *)
 
 val create :
-  ?ctx:Monsoon_telemetry.Ctx.t -> Catalog.t -> Query.t -> budget -> t
+  ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?fault:Monsoon_util.Fault.t ->
+  ?deadline:Monsoon_util.Deadline.t ->
+  Catalog.t ->
+  Query.t ->
+  budget ->
+  t
 (** With [?ctx], per-operator tuple counters land in the context's
     registry ([exec.tuples_scanned]/[_built]/[_probed]/[_emitted],
     [exec.sigma_objects], [exec.budget_spent]) and every [execute] call and
     Σ pass emits a span ([exec.execute] with [objects]/[sigma_objects]
     attributes — set even when the call raises {!Timeout} — and
     [exec.sigma]). Default: a fresh Null-sink context; the counters still
-    run but nothing retains them. *)
+    run but nothing retains them.
+
+    With [?fault], an armed fault plan is consulted at three checkpoints —
+    each compiled UDF evaluation, each scanned base row, each hash-join
+    build — and a firing checkpoint aborts the call with
+    [Monsoon_util.Fault.Injected] (counted on the [fault.injected]
+    counter). With [?deadline], every plan node of an [execute] call
+    cooperatively checks the token and raises
+    [Monsoon_util.Deadline.Expired] once it trips. Both default to their
+    Null sinks: one branch per checkpoint when off. *)
 
 val set_budget : t -> budget -> unit
 

@@ -217,7 +217,11 @@ let monsoon_strategy profile prior =
 
 let run_workload profile ~budget ?queries strategies workload =
   Runner.run_suite ~ctx:profile.ctx
-    { Runner.budget; seed = profile.seed; queries; jobs = profile.jobs }
+    { Runner.default_config with
+      Runner.budget;
+      seed = profile.seed;
+      queries;
+      jobs = profile.jobs }
     strategies workload
 
 let table2 profile =
@@ -424,7 +428,11 @@ let table8 profile =
     let tel = Ctx.create ~sink:(Span.Memory buf) () in
     let rows =
       Runner.run_suite ~ctx:tel
-        { Runner.budget; seed = profile.seed; queries; jobs = profile.jobs }
+        { Runner.default_config with
+          Runner.budget;
+          seed = profile.seed;
+          queries;
+          jobs = profile.jobs }
         [ monsoon ] w
     in
     match rows with
@@ -574,23 +582,27 @@ let workload_for profile id =
     Some
       ( Tpch.workload
           { Tpch.seed = profile.seed; scale = profile.tpch_scale; skew = Tpch.Plain },
-        profile.tpch_budget )
+        profile.tpch_budget,
+        profile.tpch_queries )
   | "table3" | "table4" | "table5" | "imdb" ->
     Some
       ( Imdb.workload { Imdb.seed = profile.seed; scale = profile.imdb_scale },
-        profile.imdb_budget )
+        profile.imdb_budget,
+        profile.imdb_queries )
   | "table6" | "ott" ->
     Some
       ( Ott.workload
           { Ott.seed = profile.seed; scale = profile.ott_scale; domain = 100 },
-        profile.ott_budget )
+        profile.ott_budget,
+        None )
   | "table7" | "figure3" | "udf" ->
     Some
       ( Udf_bench.workload
           { Udf_bench.seed = profile.seed;
             imdb_scale = profile.udf_imdb_scale;
             tpch_scale = profile.udf_tpch_scale },
-        profile.udf_budget )
+        profile.udf_budget,
+        None )
   | _ -> None
 
 let explain profile ~experiment ~query =
@@ -601,7 +613,7 @@ let explain profile ~experiment ~query =
          "unknown experiment %S; explainable: tpch (table2), imdb \
           (table3/table4/table5), ott (table6), udf (table7/figure3)"
          experiment)
-  | Some (w, budget) -> (
+  | Some (w, budget, _queries) -> (
     match List.assoc_opt query w.Workload.queries with
     | None ->
       Error
@@ -632,7 +644,9 @@ let explain profile ~experiment ~query =
           mcts;
           mcts_workers = 1;
           budget;
-          max_steps = 200 }
+          max_steps = 200;
+          fault = Fault.disabled;
+          deadline = Deadline.none }
       in
       let recorder = Recorder.create () in
       let _outcome =
@@ -641,6 +655,108 @@ let explain profile ~experiment ~query =
           config w.Workload.catalog q
       in
       Ok recorder)
+
+(* --- Deterministic chaos runs (`monsoon chaos`) --- *)
+
+let chaos profile ~experiment ~faults ~retries ~cell_deadline =
+  match workload_for profile experiment with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown experiment %S; chaos targets: tpch (table2), imdb \
+          (table3/table4/table5), ott (table6), udf (table7/figure3)"
+         experiment)
+  | Some (w, budget, queries) ->
+    let config =
+      { Runner.budget;
+        seed = profile.seed;
+        queries;
+        jobs = profile.jobs;
+        faults = Some faults;
+        retries;
+        cell_deadline }
+    in
+    let rows = Runner.run_suite ~ctx:profile.ctx config (seven profile) w in
+    (* Everything below is derived from the returned cells and the metric
+       registry — no wall-clock numbers — so the same seed + spec renders a
+       byte-identical report across runs and across [jobs] settings. *)
+    let survival =
+      List.map
+        (fun (r : Runner.row) ->
+          let applicable =
+            List.filter (fun (c : Runner.cell) -> c.Runner.attempts > 0) r.cells
+          in
+          let ok, timeouts, degraded =
+            List.fold_left
+              (fun (ok, t, d) (c : Runner.cell) ->
+                match c.Runner.outcome with
+                | Some o when o.Strategy.timed_out -> (ok, t + 1, d + o.Strategy.degraded)
+                | Some o -> (ok + 1, t, d + o.Strategy.degraded)
+                | None -> (ok, t, d))
+              (0, 0, 0) applicable
+          in
+          let retried =
+            List.fold_left
+              (fun acc (c : Runner.cell) -> acc + max 0 (c.Runner.attempts - 1))
+              0 applicable
+          in
+          let quarantined =
+            List.length
+              (List.filter (fun (c : Runner.cell) -> c.Runner.error <> None) applicable)
+          in
+          [ r.Runner.strategy;
+            string_of_int (List.length applicable);
+            string_of_int ok;
+            string_of_int timeouts;
+            string_of_int degraded;
+            string_of_int retried;
+            string_of_int quarantined ])
+        rows
+    in
+    let sum i =
+      List.fold_left (fun acc row -> acc + int_of_string (List.nth row i)) 0 survival
+    in
+    let cells = sum 1 and ok = sum 2 and timeouts = sum 3 in
+    let quarantined = sum 6 in
+    let counter n =
+      int_of_float (Metric.Counter.value (Ctx.counter profile.ctx n))
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (* No jobs (or any wall-clock number) in the report: it must be
+         byte-identical across --jobs settings. *)
+      (Printf.sprintf
+         "Chaos run: %s under faults [%s] (seed %d, retries %d%s)\n\n"
+         w.Workload.name
+         (Fault.spec_to_string faults)
+         profile.seed retries
+         (match cell_deadline with
+         | None -> ""
+         | Some s -> Printf.sprintf ", deadline %gs" s));
+    Buffer.add_string buf
+      (Report.table ~title:"Survival by implementation"
+         ~header:
+           [ "Implementation"; "Cells"; "OK"; "TO"; "Degraded"; "Retried";
+             "Quarantined" ]
+         survival);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Report.agg_table ~title:"Costs under chaos (quarantined cells excluded)"
+         ~budget
+         (List.map (Runner.aggregate ~budget) rows));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Survived %d/%d cells (%d completed, %d timed out, %d quarantined)\n"
+         (ok + timeouts) cells ok timeouts quarantined);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Counters: fault.injected=%d driver.degraded=%d runner.retries=%d \
+          runner.quarantined=%d\n"
+         (counter "fault.injected") (counter "driver.degraded")
+         (counter "runner.retries") (counter "runner.quarantined"));
+    Ctx.flush profile.ctx;
+    Ok (Buffer.contents buf)
 
 (* Runs one experiment under an "experiment" span (so Perfetto traces
    and span breakdowns group whole tables) and counts it, flushing any

@@ -92,3 +92,18 @@ val explain :
     valid ids or queries. Render the result with
     {!Monsoon_telemetry.Explain.report},
     {!Monsoon_telemetry.Recorder.to_dot} or [to_json]. *)
+
+val chaos :
+  profile ->
+  experiment:string ->
+  faults:Monsoon_util.Fault.spec ->
+  retries:int ->
+  cell_deadline:float option ->
+  (string, string) result
+(** Run a benchmark experiment's suite (all seven implementations) with the
+    fault plane armed and render a survival report: per-implementation
+    OK / timeout / degraded / retried / quarantined counts, the cost table,
+    and the resilience counters. The report contains no wall-clock numbers,
+    so the same seed + spec produces a byte-identical report across runs
+    and across [profile.jobs] settings. [experiment] accepts the same ids
+    as {!explain}. *)

@@ -8,9 +8,19 @@ type config = {
   seed : int;
   queries : string list option;
   jobs : int;
+  faults : Fault.spec option;
+  retries : int;
+  cell_deadline : float option;
 }
 
-let default_config = { budget = 5e7; seed = 42; queries = None; jobs = 1 }
+let default_config =
+  { budget = 5e7;
+    seed = 42;
+    queries = None;
+    jobs = 1;
+    faults = None;
+    retries = 2;
+    cell_deadline = None }
 
 (* A fresh deterministic stream per (strategy, query) cell. The split
    decouples the stream from the raw hash seed, and — because each cell's
@@ -19,7 +29,25 @@ let default_config = { budget = 5e7; seed = 42; queries = None; jobs = 1 }
 let cell_rng ~seed ~strategy ~query =
   Rng.split (Rng.create (Hashtbl.hash (seed, strategy, query)))
 
-type cell = { query : string; outcome : Strategy.outcome option }
+(* Retry attempts re-derive the stream from a salted seed, so attempt k is
+   deterministic too but explores a different trajectory than the one that
+   faulted. Attempt 0 is exactly [cell_rng] — a fault-free run is untouched
+   by the retry machinery. *)
+let attempt_rng ~seed ~strategy ~query ~attempt =
+  if attempt = 0 then cell_rng ~seed ~strategy ~query
+  else cell_rng ~seed:(Hashtbl.hash (seed, attempt)) ~strategy ~query
+
+(* Deterministic backoff before retry [k] (k ≥ 1): fixed exponential
+   schedule, no jitter — chaos runs must be reproducible. *)
+let backoff_seconds k = 0.01 *. (2.0 ** float_of_int (k - 1))
+
+type cell = {
+  query : string;
+  outcome : Strategy.outcome option;
+  error : string option;
+  attempts : int;
+}
+
 type row = { strategy : string; cells : cell list }
 
 let selected_queries config (w : Workload.t) =
@@ -28,36 +56,88 @@ let selected_queries config (w : Workload.t) =
   | Some names ->
     List.map (fun n -> (n, Workload.find_query w n)) names
 
-let run_suite ?ctx config strategies (w : Workload.t) =
+let run_suite ?ctx ?(cancel = Deadline.none) config strategies (w : Workload.t)
+    =
   let tel = match ctx with Some t -> t | None -> Ctx.null () in
   let queries = selected_queries config w in
   let c_cells = Ctx.counter tel "runner.cells" in
+  let c_retries = Ctx.counter tel "runner.retries" in
+  let c_quarantined = Ctx.counter tel "runner.quarantined" in
   let run_cell ((s : Strategy.t), qname, q) =
     if not (s.Strategy.applicable q) then begin
       Metric.Counter.inc c_cells;
-      { query = qname; outcome = None }
+      { query = qname; outcome = None; error = None; attempts = 0 }
     end
     else begin
-      let rng =
-        cell_rng ~seed:config.seed ~strategy:s.Strategy.name ~query:qname
-      in
-      let outcome =
+      let run_attempt k =
+        let rng =
+          attempt_rng ~seed:config.seed ~strategy:s.Strategy.name ~query:qname
+            ~attempt:k
+        in
+        (* The plan draws from a split of a *copy* of the cell stream: the
+           strategy's own stream is untouched, so a rate-0 plan (or no plan)
+           leaves every drawn number — and hence every result — identical. *)
+        let fault =
+          match config.faults with
+          | None -> Fault.disabled
+          | Some spec -> Fault.plan spec (Rng.split (Rng.copy rng))
+        in
+        let deadline =
+          match config.cell_deadline with
+          | None -> Deadline.none
+          | Some s -> Deadline.after s
+        in
         Ctx.with_span tel "query"
           ~attrs:
             [ ("strategy", Span.Str s.Strategy.name);
-              ("query", Span.Str qname) ]
+              ("query", Span.Str qname);
+              ("attempt", Span.Int k) ]
         @@ fun span ->
         let o =
-          s.Strategy.run ~ctx:tel ~rng ~budget:config.budget
+          s.Strategy.run ~ctx:tel ~fault ~deadline ~rng ~budget:config.budget
             w.Workload.catalog q
         in
         Span.set_attr span "cost" (Span.Float o.Strategy.cost);
         Span.set_attr span "timed_out" (Span.Bool o.Strategy.timed_out);
         o
       in
+      let rec attempt k =
+        match run_attempt k with
+        | o -> { query = qname; outcome = Some o; error = None; attempts = k + 1 }
+        | exception Deadline.Expired ->
+          (* A deadline that escapes the strategy is a timeout, not a fault:
+             retrying a too-slow cell would just time out again. *)
+          { query = qname;
+            outcome =
+              Some
+                { Strategy.cost = config.budget;
+                  timed_out = true;
+                  wall = 0.0;
+                  plan_time = 0.0;
+                  stats_cost = 0.0;
+                  result_card = 0.0;
+                  degraded = 0;
+                  plan = "(abandoned: deadline expired)" };
+            error = None;
+            attempts = k + 1 }
+        | exception Fault.Injected reason ->
+          if k < config.retries then begin
+            Metric.Counter.inc c_retries;
+            Unix.sleepf (backoff_seconds (k + 1));
+            attempt (k + 1)
+          end
+          else begin
+            Metric.Counter.inc c_quarantined;
+            { query = qname;
+              outcome = None;
+              error = Some reason;
+              attempts = k + 1 }
+          end
+      in
+      let cell = attempt 0 in
       Metric.Counter.inc c_cells;
       Ctx.flush tel;
-      { query = qname; outcome = Some outcome }
+      cell
     end
   in
   (* Cells are independent (catalog and queries are read-only during runs,
@@ -73,12 +153,18 @@ let run_suite ?ctx config strategies (w : Workload.t) =
     (Ctx.gauge tel "runner.cells_expected")
     (float_of_int (List.length tasks));
   let cells =
-    if config.jobs = 1 then List.map run_cell tasks
+    if config.jobs = 1 then
+      List.map
+        (fun task ->
+          Deadline.check cancel;
+          run_cell task)
+        tasks
     else begin
       let n = if config.jobs < 1 then Pool.default_jobs () else config.jobs in
       let g_queued = Ctx.gauge tel "pool.queued" in
       let g_in_flight = Ctx.gauge tel "pool.in_flight" in
       let g_completed = Ctx.gauge tel "pool.completed" in
+      let g_respawned = Ctx.gauge tel "pool.respawned" in
       Pool.with_pool n (fun pool ->
           (* Export pool occupancy at cell boundaries so /metrics tracks
              progress without a hot-path hook inside the pool itself. *)
@@ -86,10 +172,18 @@ let run_suite ?ctx config strategies (w : Workload.t) =
             let st = Pool.stats pool in
             Metric.Gauge.set g_queued (float_of_int st.Pool.queued);
             Metric.Gauge.set g_in_flight (float_of_int st.Pool.in_flight);
-            Metric.Gauge.set g_completed (float_of_int st.Pool.completed)
+            Metric.Gauge.set g_completed (float_of_int st.Pool.completed);
+            Metric.Gauge.set g_respawned (float_of_int (Pool.respawned pool))
           in
+          (* Worker kills from the fault spec land here: each token makes
+             one worker die between cells and respawn a replacement, so the
+             suite exercises worker churn without losing a cell. *)
+          (match config.faults with
+          | Some spec when spec.Fault.worker_kills > 0 ->
+            Pool.inject_kills pool spec.Fault.worker_kills
+          | _ -> ());
           let out =
-            Pool.map pool
+            Pool.map ~cancel pool
               (fun task ->
                 export ();
                 let cell = run_cell task in
@@ -119,11 +213,15 @@ type agg = {
   median : float;
   max_ : float option;
   n : int;
+  errors : int;
 }
 
 let aggregate ~budget row =
   let outcomes = List.filter_map (fun c -> c.outcome) row.cells in
   let n = List.length outcomes in
+  let errors =
+    List.length (List.filter (fun c -> c.error <> None) row.cells)
+  in
   let timeouts = List.length (List.filter (fun o -> o.Strategy.timed_out) outcomes) in
   let costs =
     Array.of_list
@@ -140,7 +238,7 @@ let aggregate ~budget row =
     else if n = 0 then Some 0.0
     else Some (Array.fold_left Float.max 0.0 costs)
   in
-  { agg_name = row.strategy; timeouts; mean; median; max_; n }
+  { agg_name = row.strategy; timeouts; mean; median; max_; n; errors }
 
 let cost_by_query row =
   List.filter_map

@@ -1,6 +1,7 @@
 (** Runs strategies over a workload's query suite and aggregates results the
     way the paper's tables do. *)
 
+open Monsoon_util
 open Monsoon_baselines
 open Monsoon_workloads
 
@@ -16,10 +17,28 @@ type config = {
           ({!Monsoon_util.Pool.default_jobs}). Results are identical for
           every value — each cell's RNG derives only from
           [(seed, strategy, query)] (see {!cell_rng}). *)
+  faults : Fault.spec option;
+      (** arm the fault plane: every cell attempt gets a private
+          [Fault.plan] derived from (a copy of) its cell RNG, so the same
+          seed + spec fires identically across runs and [jobs] values, and
+          a rate-0 spec is byte-identical to [None]. [worker_kills] are
+          injected into the pool when [jobs > 1]. Default [None]. *)
+  retries : int;
+      (** extra attempts for a cell killed by a fault, each on a
+          deterministically salted RNG after a fixed exponential backoff;
+          a cell failing every attempt is quarantined ([outcome = None],
+          [error = Some _]). Attempt 0 always uses the unsalted
+          {!cell_rng}, so fault-free cells are untouched. Default 2. *)
+  cell_deadline : float option;
+      (** wall-clock seconds per cell attempt, enforced cooperatively by
+          the strategy/executor/MCTS; expiry yields a timed-out outcome
+          (never a retry). Wall-clock bounds trade away run-to-run
+          determinism — leave [None] (the default) when comparing runs. *)
 }
 
 val default_config : config
-(** Budget 5e7, seed 42, all queries, [jobs = 1]. *)
+(** Budget 5e7, seed 42, all queries, [jobs = 1], no faults, 2 retries,
+    no deadline. *)
 
 val cell_rng :
   seed:int -> strategy:string -> query:string -> Monsoon_util.Rng.t
@@ -29,13 +48,19 @@ val cell_rng :
 
 type cell = {
   query : string;
-  outcome : Strategy.outcome option;  (** [None]: strategy not applicable *)
+  outcome : Strategy.outcome option;
+      (** [None]: strategy not applicable, or quarantined (see [error]) *)
+  error : string option;
+      (** [Some fault_class] when the cell faulted on every attempt and
+          was quarantined *)
+  attempts : int;  (** runs taken: 1 normally, 0 when not applicable *)
 }
 
 type row = { strategy : string; cells : cell list }
 
 val run_suite :
   ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?cancel:Deadline.t ->
   config -> Strategy.t list -> Workload.t -> row list
 (** One row per strategy, one cell per query (in suite order). The
     hand-written plans, when the workload has them, can be included by
@@ -43,10 +68,19 @@ val run_suite :
 
     With [?ctx], the context is threaded into every strategy run and each
     (strategy, query) cell executes under a ["query"] root span carrying
-    [strategy] / [query] / [cost] / [timed_out] attributes; with
-    [config.jobs > 1] cells run concurrently, so the context's metrics and
-    spans must be (and are) domain-safe — only span ordering varies between
-    [jobs] settings, never the returned rows. *)
+    [strategy] / [query] / [attempt] / [cost] / [timed_out] attributes;
+    with [config.jobs > 1] cells run concurrently, so the context's metrics
+    and spans must be (and are) domain-safe — only span ordering varies
+    between [jobs] settings, never the returned rows.
+
+    [?cancel] abandons the whole suite: once the token trips, cells not yet
+    started stop running and the call raises
+    [Monsoon_util.Deadline.Expired] — after the pool has drained and every
+    worker domain is joined, so cancellation never leaks domains.
+
+    Resilience counters: [runner.cells], [runner.retries],
+    [runner.quarantined] (plus the [pool.respawned] gauge when faults kill
+    workers). *)
 
 type agg = {
   agg_name : string;
@@ -54,7 +88,8 @@ type agg = {
   mean : float option;  (** [None] when any query timed out (paper: N/A) *)
   median : float;  (** timeouts included at the budget value *)
   max_ : float option;  (** [None] = "TO" *)
-  n : int;  (** applicable queries *)
+  n : int;  (** applicable queries that produced an outcome *)
+  errors : int;  (** quarantined cells (faulted on every attempt) *)
 }
 
 val aggregate : budget:float -> row -> agg

@@ -15,10 +15,15 @@ type config = {
   selection : selection;
   rng : Rng.t;
   max_rollout_steps : int;
+  deadline : Deadline.t;
 }
 
 let default_config ~rng =
-  { iterations = 2000; selection = Uct (sqrt 2.0); rng; max_rollout_steps = 10_000 }
+  { iterations = 2000;
+    selection = Uct (sqrt 2.0);
+    rng;
+    max_rollout_steps = 10_000;
+    deadline = Deadline.none }
 
 type 'a candidate = { cand_action : 'a; cand_visits : int; cand_mean : float }
 
@@ -158,13 +163,19 @@ let search cfg p root_state ~observe_depth =
           g
         end
   in
-  for i = 0 to cfg.iterations - 1 do
-    let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
-    depth_reached := 0;
-    let g = simulate ~progress root 0 in
-    observe_depth (float_of_int !depth_reached);
-    observe g
-  done;
+  (* An expiring deadline ends the search between iterations instead of
+     raising: the partial tree is still a valid (if weaker) plan, and
+     parallel trees stay mergeable. *)
+  (try
+     for i = 0 to cfg.iterations - 1 do
+       if Deadline.expired cfg.deadline then raise Exit;
+       let progress = float_of_int i /. float_of_int (max 1 cfg.iterations) in
+       depth_reached := 0;
+       let g = simulate ~progress root 0 in
+       observe_depth (float_of_int !depth_reached);
+       observe g
+     done
+   with Exit -> ());
   (root, !expansions)
 
 (* Root statistics detached from the (mutable, tree-owning) nodes, so trees
@@ -243,7 +254,24 @@ let plan ?ctx ?(workers = 1) ?problem_of cfg p root_state =
                   (root_edges root, root.visits, ex)))
             rngs
         in
-        let results = List.map Domain.join domains in
+        (* Join every domain before re-raising anything a worker threw
+           (e.g. a failing rollout policy) — an early re-raise would leak
+           the remaining domains. *)
+        let joined =
+          List.map
+            (fun d ->
+              match Domain.join d with
+              | r -> Ok r
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            domains
+        in
+        let results =
+          List.map
+            (function
+              | Ok r -> r
+              | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+            joined
+        in
         let edges = merge_root_edges (List.map (fun (e, _, _) -> e) results) in
         let visits = List.fold_left (fun a (_, v, _) -> a + v) 0 results in
         let ex = List.fold_left (fun a (_, _, x) -> a + x) 0 results in

@@ -36,10 +36,16 @@ type config = {
   max_rollout_steps : int;
       (** safety cap on rollout length; generous values never bind for the
           Monsoon MDP, whose episodes are structurally finite *)
+  deadline : Monsoon_util.Deadline.t;
+      (** checked between iterations: an expired or cancelled token ends
+          the search early with the partial tree (no exception), so a
+          cell abandoned by the harness never spins in the planner.
+          Default [Deadline.none] — and note wall-clock deadlines trade
+          away run-to-run determinism *)
 }
 
 val default_config : rng:Monsoon_util.Rng.t -> config
-(** 2000 iterations, UCT(√2), rollout cap 10_000. *)
+(** 2000 iterations, UCT(√2), rollout cap 10_000, no deadline. *)
 
 type 'a candidate = {
   cand_action : 'a;

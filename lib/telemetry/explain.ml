@@ -131,6 +131,25 @@ let hardened_table r =
       ~header:[ "Step"; "Kind"; "Subject"; "Value" ]
       rows
 
+let degradation_table r =
+  let rows =
+    List.filter_map
+      (function
+        | Recorder.Degraded { step; reason; fallback } ->
+          Some [ string_of_int step; reason; fallback ]
+        | _ -> None)
+      (Recorder.events r)
+  in
+  if rows = [] then ""
+  else
+    Snapshot.table
+      ~title:
+        (Printf.sprintf "Degraded execution (%d fault%s survived)"
+           (List.length rows)
+           (if List.length rows = 1 then "" else "s"))
+      ~header:[ "Step"; "Fault"; "Fallback plan" ]
+      rows
+
 let summary r =
   let start =
     List.find_map
@@ -182,7 +201,7 @@ let report ?top r =
   if Recorder.events r = [] then "(empty recording)\n"
   else
     let parts =
-      [ summary r; timeline_table r; plan_tables r; misestimate_table ?top r;
-        hardened_table r ]
+      [ summary r; timeline_table r; plan_tables r; degradation_table r;
+        misestimate_table ?top r; hardened_table r ]
     in
     String.concat "\n" (List.filter (fun s -> s <> "") parts)

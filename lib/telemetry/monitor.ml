@@ -168,14 +168,16 @@ let preregister reg =
   List.iter
     (fun n -> ignore (Registry.counter reg n))
     [ "driver.steps"; "driver.replans"; "driver.executes";
-      "driver.mcts_seconds"; "mcts.plans"; "mcts.iterations";
-      "mcts.expansions"; "exec.tuples_scanned"; "exec.tuples_built";
-      "exec.tuples_probed"; "exec.tuples_emitted"; "exec.sigma_objects";
-      "exec.budget_spent"; "runner.cells"; "monitor.ticks" ];
+      "driver.mcts_seconds"; "driver.degraded"; "mcts.plans";
+      "mcts.iterations"; "mcts.expansions"; "exec.tuples_scanned";
+      "exec.tuples_built"; "exec.tuples_probed"; "exec.tuples_emitted";
+      "exec.sigma_objects"; "exec.budget_spent"; "fault.injected";
+      "runner.cells"; "runner.retries"; "runner.quarantined";
+      "monitor.ticks" ];
   List.iter
     (fun n -> ignore (Registry.gauge reg n))
     [ "runner.cells_expected"; "pool.queued"; "pool.in_flight";
-      "pool.completed"; "gc.heap_words"; "gc.minor_words";
+      "pool.completed"; "pool.respawned"; "gc.heap_words"; "gc.minor_words";
       "gc.major_words"; "gc.minor_collections"; "gc.major_collections" ];
   List.iter
     (fun n -> ignore (Registry.histogram reg n))

@@ -39,6 +39,7 @@ type event =
       pretty : string;
       value : float;
     }
+  | Degraded of { step : int; reason : string; fallback : string }
   | Note of { step : int; message : string }
   | Query_finish of {
       steps : int;
@@ -119,6 +120,12 @@ let event_json = function
         ("key", Json.Num key);
         ("subject", Json.Str pretty);
         ("value", Json.Num value) ]
+  | Degraded { step; reason; fallback } ->
+    Json.Obj
+      [ ("event", Json.Str "degraded");
+        ("step", Json.Num (float_of_int step));
+        ("reason", Json.Str reason);
+        ("fallback", Json.Str fallback) ]
   | Note { step; message } ->
     Json.Obj
       [ ("event", Json.Str "note");

@@ -75,6 +75,10 @@ type event =
       pretty : string;  (** rendered mask or term *)
       value : float;
     }  (** a statistic hardening into the catalog *)
+  | Degraded of { step : int; reason : string; fallback : string }
+      (** an EXECUTE step died to an injected (or real) fault and the
+          driver fell back to the named plan — [reason] is the fault
+          class, [fallback] the pretty-printed replacement expression *)
   | Note of { step : int; message : string }
   | Query_finish of {
       steps : int;

@@ -1,0 +1,18 @@
+exception Expired
+
+type t = { expires_at : float; cancelled : bool Atomic.t }
+
+let none = { expires_at = infinity; cancelled = Atomic.make false }
+let after seconds = { expires_at = Timer.now () +. seconds; cancelled = Atomic.make false }
+let cancel t = if t != none then Atomic.set t.cancelled true
+let is_none t = t == none
+
+let expired t =
+  t != none && (Atomic.get t.cancelled || Timer.now () > t.expires_at)
+
+let check t = if expired t then raise Expired
+
+let remaining t =
+  if t == none then infinity
+  else if Atomic.get t.cancelled then 0.0
+  else Float.max 0.0 (t.expires_at -. Timer.now ())

@@ -1,0 +1,36 @@
+(** Cooperative wall-clock deadlines and cancellation.
+
+    A [Deadline.t] is both a timeout and a cancellation token: long-running
+    loops call {!check} at their batch boundaries (executor plan nodes,
+    MCTS iterations, pool task pickup) and abandon work by raising
+    {!Expired} once the wall clock passes the deadline or someone called
+    {!cancel}. The token is domain-safe — the harness can cancel a cell
+    from outside while worker domains poll it.
+
+    {!none} never expires and is the default everywhere; checking it costs
+    one pointer comparison (the Null-sink pattern), so instrumented hot
+    paths pay nothing when no deadline is set. *)
+
+exception Expired
+
+type t
+
+val none : t
+(** Never expires, cannot be cancelled ({!cancel} on it is ignored). *)
+
+val after : float -> t
+(** [after seconds] expires that many seconds from now (monotonic clock). *)
+
+val cancel : t -> unit
+(** Trip the token: every subsequent {!check} raises. Idempotent. *)
+
+val is_none : t -> bool
+
+val expired : t -> bool
+(** True once past the deadline or cancelled. Always false for {!none}. *)
+
+val check : t -> unit
+(** @raise Expired when {!expired}. *)
+
+val remaining : t -> float
+(** Seconds left ([infinity] for {!none}, [0.] once expired). *)

@@ -10,6 +10,11 @@ type t = {
   n_queued : int Atomic.t;
   n_in_flight : int Atomic.t;
   n_completed : int Atomic.t;
+  (* Fault plane: pending kill tokens and how many workers died-and-were-
+     replaced. A worker claims a token (CAS) at dequeue time — never
+     mid-task — spawns its own replacement, and exits. *)
+  kills : int Atomic.t;
+  n_respawned : int Atomic.t;
 }
 
 type stats = { queued : int; in_flight : int; completed : int }
@@ -19,30 +24,47 @@ let stats t =
     in_flight = Atomic.get t.n_in_flight;
     completed = Atomic.get t.n_completed }
 
+let respawned t = Atomic.get t.n_respawned
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* Workers block on [nonempty] until a task (or the shutdown flag) appears;
-   on shutdown they drain whatever is still queued before exiting. *)
+let rec claim_kill t =
+  let n = Atomic.get t.kills in
+  if n <= 0 then false
+  else if Atomic.compare_and_set t.kills n (n - 1) then true
+  else claim_kill t
+
+(* Workers block on [nonempty] until a task (or the shutdown flag, or a kill
+   token) appears; on shutdown they drain whatever is still queued before
+   exiting. A claimed kill token makes the worker exit between tasks, after
+   spawning its replacement under the pool lock — so capacity is conserved
+   and no queued task is orphaned. *)
 let rec worker_loop t =
   Mutex.lock t.lock;
   let rec next () =
-    match Queue.take_opt t.queue with
-    | Some task ->
-      Atomic.decr t.n_queued;
-      Atomic.incr t.n_in_flight;
-      Some task
-    | None ->
-      if t.closing then None
-      else begin
-        Condition.wait t.nonempty t.lock;
-        next ()
-      end
+    if claim_kill t then `Die
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Atomic.decr t.n_queued;
+        Atomic.incr t.n_in_flight;
+        `Run task
+      | None ->
+        if t.closing then `Drained
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
   in
-  let task = next () in
+  let decision = next () in
+  (match decision with
+  | `Die when not t.closing ->
+    Atomic.incr t.n_respawned;
+    t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
+  | _ -> ());
   Mutex.unlock t.lock;
-  match task with
-  | None -> ()
-  | Some task ->
+  match decision with
+  | `Die | `Drained -> ()
+  | `Run task ->
     Fun.protect task ~finally:(fun () ->
         Atomic.decr t.n_in_flight;
         Atomic.incr t.n_completed);
@@ -58,12 +80,28 @@ let create n =
       workers = [];
       n_queued = Atomic.make 0;
       n_in_flight = Atomic.make 0;
-      n_completed = Atomic.make 0 }
+      n_completed = Atomic.make 0;
+      kills = Atomic.make 0;
+      n_respawned = Atomic.make 0 }
   in
   t.workers <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let size t = List.length t.workers
+let size t =
+  Mutex.lock t.lock;
+  let n = List.length t.workers - Atomic.get t.n_respawned in
+  Mutex.unlock t.lock;
+  n
+
+let inject_kills t n =
+  if n < 0 then invalid_arg "Pool.inject_kills: negative count";
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add t.kills n);
+    (* Wake idle workers so kills land even when the queue is empty. *)
+    Mutex.lock t.lock;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock
+  end
 
 let submit t task =
   Mutex.lock t.lock;
@@ -76,7 +114,7 @@ let submit t task =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
-let map t f xs =
+let map ?(cancel = Deadline.none) t f xs =
   match xs with
   | [] -> []
   | _ ->
@@ -93,9 +131,15 @@ let map t f xs =
       (fun i x ->
         submit t (fun () ->
             let outcome =
-              match f x with
-              | y -> Ok y
-              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              (* A tripped token turns every not-yet-started item into an
+                 immediate failure, so an abandoned call settles fast
+                 without running its remaining work. *)
+              if Deadline.expired cancel then
+                Error (Deadline.Expired, Printexc.get_callstack 0)
+              else
+                match f x with
+                | y -> Ok y
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
             in
             Mutex.lock lock;
             (match outcome with
@@ -119,15 +163,16 @@ let map t f xs =
     | None -> ());
     Array.to_list (Array.map Option.get results)
 
-let iter t f xs = ignore (map t (fun x -> (f x : unit)) xs)
+let iter ?cancel t f xs = ignore (map ?cancel t (fun x -> (f x : unit)) xs)
 
 let shutdown t =
   Mutex.lock t.lock;
   t.closing <- true;
   Condition.broadcast t.nonempty;
-  Mutex.unlock t.lock;
+  (* Snapshot under the lock: respawning workers mutate [t.workers]. *)
   let workers = t.workers in
   t.workers <- [];
+  Mutex.unlock t.lock;
   List.iter Domain.join workers
 
 let with_pool n f =

@@ -43,13 +43,28 @@ val stats : t -> stats
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val inject_kills : t -> int -> unit
+(** [inject_kills pool n] queues [n] kill tokens for the fault plane. Each
+    token makes one worker exit between tasks (never mid-task) after
+    spawning its own replacement, so capacity is conserved and no queued
+    task is orphaned. Tokens outnumbering live workers linger and kill
+    future dequeues. @raise Invalid_argument when [n < 0]. *)
+
+val respawned : t -> int
+(** Workers killed-and-replaced since the pool was created. *)
+
+val map : ?cancel:Deadline.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element on the pool's workers and
     returns the results in input order. Blocks until all items settle; if
     any task raised, re-raises the first failure (by input position).
+
+    When [cancel] trips (deadline passed, or [Deadline.cancel]), items not
+    yet started fail immediately with [Deadline.Expired] instead of running
+    [f] — so an abandoned call settles fast and the pool stays usable.
+    In-flight items still run to completion (cooperative cancellation).
     @raise Invalid_argument when the pool was shut down. *)
 
-val iter : t -> ('a -> unit) -> 'a list -> unit
+val iter : ?cancel:Deadline.t -> t -> ('a -> unit) -> 'a list -> unit
 (** [map] for effects. *)
 
 val shutdown : t -> unit

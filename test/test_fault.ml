@@ -1,0 +1,360 @@
+open Monsoon_util
+open Monsoon_baselines
+open Monsoon_workloads
+open Monsoon_harness
+open Monsoon_telemetry
+
+(* --- Fault specs: parsing and the determinism contract --- *)
+
+let test_spec_parse () =
+  match Fault.spec_of_string "udf:0.05,worker:1" with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+    Alcotest.(check (float 1e-9)) "udf" 0.05 s.Fault.udf_rate;
+    Alcotest.(check (float 1e-9)) "row" 0.0 s.Fault.row_rate;
+    Alcotest.(check (float 1e-9)) "build" 0.0 s.Fault.build_rate;
+    Alcotest.(check int) "worker" 1 s.Fault.worker_kills
+
+let test_spec_roundtrip () =
+  let s =
+    { Fault.udf_rate = 0.25; row_rate = 0.5; build_rate = 1.0; worker_kills = 3 }
+  in
+  match Fault.spec_of_string (Fault.spec_to_string s) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s')
+
+let test_spec_rejects () =
+  let bad v =
+    match Fault.spec_of_string v with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" v)
+  in
+  bad "";
+  bad "udf:1.5";
+  bad "udf:-0.1";
+  bad "worker:-1";
+  bad "worker:0.5";
+  bad "gremlin:0.2";
+  bad "udf=0.2"
+
+let test_disabled_is_noop () =
+  (* Every checkpoint on the disabled plan is silent; nothing counts. *)
+  for _ = 1 to 100 do
+    Fault.udf Fault.disabled;
+    Fault.row Fault.disabled;
+    Fault.build Fault.disabled
+  done;
+  Alcotest.(check bool) "not armed" false (Fault.armed Fault.disabled);
+  Alcotest.(check int) "no firings" 0 (Fault.injected Fault.disabled);
+  Alcotest.(check int) "no kills" 0 (Fault.worker_kills Fault.disabled)
+
+let firing_sequence ~seed ~rate ~n =
+  let f = Fault.plan { Fault.no_faults with Fault.udf_rate = rate } (Rng.create seed) in
+  List.init n (fun _ -> match Fault.udf f with () -> false | exception Fault.Injected _ -> true)
+
+let test_plan_determinism () =
+  let a = firing_sequence ~seed:42 ~rate:0.3 ~n:200 in
+  let b = firing_sequence ~seed:42 ~rate:0.3 ~n:200 in
+  Alcotest.(check bool) "same seed, same firings" true (a = b);
+  Alcotest.(check bool) "fires at 0.3 over 200 draws" true (List.mem true a);
+  let c = firing_sequence ~seed:43 ~rate:0.3 ~n:200 in
+  Alcotest.(check bool) "different seed, different firings" true (a <> c)
+
+let test_rate_zero_never_draws () =
+  (* A rate-0 class must not touch the RNG: arming it cannot shift another
+     class's stream (and a rate-0 plan fires nothing at all). *)
+  let rng = Rng.create 7 in
+  let f = Fault.plan Fault.no_faults rng in
+  for _ = 1 to 50 do
+    Fault.udf f;
+    Fault.row f;
+    Fault.build f
+  done;
+  Alcotest.(check int) "rate-0 plan never fires" 0 (Fault.injected f);
+  let untouched = Rng.create 7 in
+  Alcotest.(check bool) "plan rng never advanced" true
+    (Rng.unit_float rng = Rng.unit_float untouched)
+
+(* --- Deadlines and cancellation --- *)
+
+let test_deadline_none () =
+  Alcotest.(check bool) "is_none" true (Deadline.is_none Deadline.none);
+  Alcotest.(check bool) "never expires" false (Deadline.expired Deadline.none);
+  Deadline.cancel Deadline.none;
+  (* cancelling the shared sentinel is ignored *)
+  Alcotest.(check bool) "still not expired" false (Deadline.expired Deadline.none);
+  Deadline.check Deadline.none;
+  Alcotest.(check bool) "infinite remaining" true
+    (Deadline.remaining Deadline.none = infinity)
+
+let test_deadline_expiry_and_cancel () =
+  let d = Deadline.after 0.0 in
+  Alcotest.(check bool) "expired immediately" true (Deadline.expired d);
+  Alcotest.check_raises "check raises" Deadline.Expired (fun () ->
+      Deadline.check d);
+  Alcotest.(check (float 1e-9)) "no time left" 0.0 (Deadline.remaining d);
+  let c = Deadline.after 3600.0 in
+  Alcotest.(check bool) "fresh token live" false (Deadline.expired c);
+  Deadline.cancel c;
+  Alcotest.(check bool) "cancel trips it" true (Deadline.expired c)
+
+let small_tpch () = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain }
+
+let test_strategy_deadline_times_out () =
+  (* An already-expired deadline must come back as a timed-out outcome —
+     quickly, and without leaking the exception. *)
+  let w = small_tpch () in
+  let q = Workload.find_query w "tq1" in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let o =
+        s.Strategy.run ~deadline:(Deadline.after 0.0) ~rng:(Rng.create 1)
+          ~budget:1e6 w.Workload.catalog q
+      in
+      Alcotest.(check bool) (s.Strategy.name ^ " timed out") true
+        o.Strategy.timed_out)
+    [ Strategy.greedy;
+      Strategy.skinner;
+      Strategy.monsoon ~iterations:60 ~scale_with_size:false
+        Monsoon_stats.Prior.spike_and_slab ]
+
+(* --- Pool: worker kills, respawn, cancellation --- *)
+
+let wait_for ?(timeout = 5.0) pred =
+  let t0 = Timer.now () in
+  let rec go () =
+    if pred () then true
+    else if Timer.now () -. t0 > timeout then false
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let test_pool_kill_respawn () =
+  Pool.with_pool 2 (fun p ->
+      Pool.inject_kills p 1;
+      let xs = List.init 50 Fun.id in
+      let ys = Pool.map p (fun x -> x * x) xs in
+      Alcotest.(check (list int)) "no task lost to the kill"
+        (List.map (fun x -> x * x) xs)
+        ys;
+      Alcotest.(check bool) "a worker died and was replaced" true
+        (wait_for (fun () -> Pool.respawned p >= 1));
+      Alcotest.(check int) "capacity conserved" 2 (Pool.size p);
+      (* The pool keeps working after the churn. *)
+      Alcotest.(check (list int)) "usable after respawn" [ 2; 4 ]
+        (Pool.map p (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_pool_cancel () =
+  Pool.with_pool 2 (fun p ->
+      let cancel = Deadline.after 3600.0 in
+      Deadline.cancel cancel;
+      (match Pool.map ~cancel p Fun.id (List.init 20 Fun.id) with
+      | _ -> Alcotest.fail "expected Deadline.Expired"
+      | exception Deadline.Expired -> ());
+      (* A cancelled call leaves the pool usable. *)
+      Alcotest.(check (list int)) "usable after cancel" [ 1; 2 ]
+        (Pool.map p Fun.id [ 1; 2 ]))
+
+(* --- Suite-level resilience: the properties the chaos command relies on --- *)
+
+let fingerprint (rows : Runner.row list) =
+  List.map
+    (fun (r : Runner.row) ->
+      ( r.Runner.strategy,
+        List.map
+          (fun (c : Runner.cell) ->
+            ( c.Runner.query,
+              c.Runner.error,
+              c.Runner.attempts,
+              Option.map
+                (fun (o : Strategy.outcome) ->
+                  ( o.Strategy.cost, o.Strategy.timed_out,
+                    o.Strategy.stats_cost, o.Strategy.result_card,
+                    o.Strategy.degraded, o.Strategy.plan ))
+                c.Runner.outcome ))
+          r.Runner.cells ))
+    rows
+
+let suite_strategies () =
+  [ Strategy.defaults; Strategy.greedy; Strategy.sampling;
+    Strategy.monsoon ~iterations:60 ~scale_with_size:false
+      Monsoon_stats.Prior.spike_and_slab ]
+
+let suite_config ?faults ?(jobs = 1) () =
+  { Runner.default_config with
+    Runner.budget = 1e6;
+    seed = 11;
+    queries = Some [ "tq1"; "tq2"; "tq12" ];
+    jobs;
+    faults }
+
+let test_rate_zero_plan_is_byte_identical () =
+  (* The headline property: arming the fault plane at rate 0 changes
+     nothing — rows, attempts, recorder-visible outcomes, and the
+     fault.injected counter are all exactly as without a plane. *)
+  let w = small_tpch () in
+  let run faults =
+    let tel = Ctx.null () in
+    let rows = Runner.run_suite ~ctx:tel (suite_config ?faults ()) (suite_strategies ()) w in
+    let injected =
+      Metric.Counter.value (Ctx.counter tel "fault.injected")
+    in
+    (fingerprint rows, injected)
+  in
+  let bare, injected_bare = run None in
+  let armed, injected_armed = run (Some Fault.no_faults) in
+  Alcotest.(check bool) "rows byte-identical" true (bare = armed);
+  Alcotest.(check (float 0.0)) "no injections without plane" 0.0 injected_bare;
+  Alcotest.(check (float 0.0)) "no injections at rate 0" 0.0 injected_armed
+
+let test_jobs_invariance_under_faults () =
+  (* The jobs knob must stay invisible with the fault plane armed: fault
+     firing derives from per-cell RNGs, never from scheduling. The kill
+     token exercises worker churn on the pooled run. *)
+  let w = small_tpch () in
+  let faults =
+    Some { Fault.no_faults with Fault.udf_rate = 0.001; worker_kills = 1 }
+  in
+  let seq = Runner.run_suite (suite_config ?faults ()) (suite_strategies ()) w in
+  let par =
+    Runner.run_suite (suite_config ?faults ~jobs:4 ()) (suite_strategies ()) w
+  in
+  Alcotest.(check bool) "rows identical for jobs=1 and jobs=4" true
+    (fingerprint seq = fingerprint par)
+
+let test_retry_then_quarantine () =
+  (* row:1.0 poisons the first scanned row of every attempt: the cell
+     retries its full allowance, then lands in quarantine with the fault
+     class recorded — and the aggregate surfaces it as an error. *)
+  let w = small_tpch () in
+  let tel = Ctx.null () in
+  let rows =
+    Runner.run_suite ~ctx:tel
+      { (suite_config ()) with
+        Runner.queries = Some [ "tq1" ];
+        faults = Some { Fault.no_faults with Fault.row_rate = 1.0 };
+        retries = 2 }
+      [ Strategy.greedy ] w
+  in
+  (match rows with
+  | [ { Runner.cells = [ c ]; _ } ] ->
+    Alcotest.(check bool) "quarantined" true (c.Runner.outcome = None);
+    Alcotest.(check (option string)) "fault class recorded" (Some "row")
+      c.Runner.error;
+    Alcotest.(check int) "used every attempt" 3 c.Runner.attempts
+  | _ -> Alcotest.fail "expected one row with one cell");
+  let agg = Runner.aggregate ~budget:1e6 (List.hd rows) in
+  Alcotest.(check int) "agg counts the error" 1 agg.Runner.errors;
+  Alcotest.(check int) "no outcome to aggregate" 0 agg.Runner.n;
+  Alcotest.(check (float 0.0)) "retries counted" 2.0
+    (Metric.Counter.value (Ctx.counter tel "runner.retries"));
+  Alcotest.(check (float 0.0)) "quarantine counted" 1.0
+    (Metric.Counter.value (Ctx.counter tel "runner.quarantined"))
+
+let test_degraded_execution () =
+  (* A UDF fault during a planned EXECUTE must not kill the run: the driver
+     falls back to a left-deep plan, records a Degraded event the explain
+     report renders, and the outcome still carries a result. Seeds are
+     scanned deterministically until one hits the degrade path (a fault
+     can also land outside EXECUTE, which retries instead). *)
+  let w = Ott.workload { Ott.seed = 5; scale = 0.05; domain = 50 } in
+  let monsoon =
+    Strategy.monsoon ~iterations:60 ~scale_with_size:false
+      Monsoon_stats.Prior.spike_and_slab
+  in
+  let queries = List.map fst w.Workload.queries in
+  let try_one seed qname =
+    let q = Workload.find_query w qname in
+    let recorder = Recorder.create () in
+    let tel = Ctx.with_recorder (Ctx.null ()) recorder in
+    let fault =
+      Fault.plan { Fault.no_faults with Fault.udf_rate = 5e-4 } (Rng.create seed)
+    in
+    match
+      monsoon.Strategy.run ~ctx:tel ~fault ~rng:(Rng.create seed) ~budget:1e7
+        w.Workload.catalog q
+    with
+    | exception Fault.Injected _ -> None (* fault outside EXECUTE: retry path *)
+    | o when o.Strategy.degraded > 0 -> Some (o, recorder, tel)
+    | _ -> None
+  in
+  let hit =
+    List.find_map
+      (fun seed -> List.find_map (try_one seed) queries)
+      (List.init 10 Fun.id)
+  in
+  match hit with
+  | None -> Alcotest.fail "no seed hit the degrade path (raise rate or seeds)"
+  | Some (o, recorder, tel) ->
+    Alcotest.(check bool) "run completed" false o.Strategy.timed_out;
+    let degraded_events =
+      List.filter
+        (function Recorder.Degraded _ -> true | _ -> false)
+        (Recorder.events recorder)
+    in
+    Alcotest.(check int) "one Degraded event per degraded execute"
+      o.Strategy.degraded
+      (List.length degraded_events);
+    (match degraded_events with
+    | Recorder.Degraded { reason; fallback; _ } :: _ ->
+      Alcotest.(check string) "reason is the fault class" "udf" reason;
+      Alcotest.(check bool) "fallback plan recorded" true
+        (String.length fallback > 0)
+    | _ -> ());
+    let report = Explain.report recorder in
+    Alcotest.(check bool) "explain renders the degradation" true
+      (let needle = "Degraded execution" in
+       let rec search i =
+         i + String.length needle <= String.length report
+         && (String.sub report i (String.length needle) = needle
+            || search (i + 1))
+       in
+       search 0);
+    Alcotest.(check bool) "driver.degraded counted" true
+      (Metric.Counter.value (Ctx.counter tel "driver.degraded")
+      >= float_of_int o.Strategy.degraded)
+
+let test_mcts_deadline_early_exit () =
+  (* An expired deadline stops MCTS gracefully: the search returns a plan
+     (from whatever tree exists) instead of raising or spinning. *)
+  let w = small_tpch () in
+  let q = Workload.find_query w "tq1" in
+  let monsoon =
+    Strategy.monsoon ~iterations:100_000 ~scale_with_size:false
+      Monsoon_stats.Prior.spike_and_slab
+  in
+  let t0 = Timer.now () in
+  let o =
+    monsoon.Strategy.run ~deadline:(Deadline.after 0.05) ~rng:(Rng.create 3)
+      ~budget:1e7 w.Workload.catalog q
+  in
+  Alcotest.(check bool) "timed out cooperatively" true o.Strategy.timed_out;
+  Alcotest.(check bool) "did not run the full 100k-iteration search" true
+    (Timer.now () -. t0 < 30.0)
+
+let () =
+  Alcotest.run "fault"
+    [ ( "spec",
+        [ Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_spec_rejects ] );
+      ( "plan",
+        [ Alcotest.test_case "disabled noop" `Quick test_disabled_is_noop;
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "rate 0 never draws" `Quick test_rate_zero_never_draws ] );
+      ( "deadline",
+        [ Alcotest.test_case "none sentinel" `Quick test_deadline_none;
+          Alcotest.test_case "expiry & cancel" `Quick test_deadline_expiry_and_cancel;
+          Alcotest.test_case "strategies time out" `Slow test_strategy_deadline_times_out;
+          Alcotest.test_case "mcts early exit" `Slow test_mcts_deadline_early_exit ] );
+      ( "pool",
+        [ Alcotest.test_case "kill & respawn" `Quick test_pool_kill_respawn;
+          Alcotest.test_case "cancel" `Quick test_pool_cancel ] );
+      ( "resilience",
+        [ Alcotest.test_case "rate-0 byte identity" `Slow test_rate_zero_plan_is_byte_identical;
+          Alcotest.test_case "jobs invariance under faults" `Slow test_jobs_invariance_under_faults;
+          Alcotest.test_case "retry then quarantine" `Quick test_retry_then_quarantine;
+          Alcotest.test_case "degraded execution" `Slow test_degraded_execution ] ) ]

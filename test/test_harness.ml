@@ -40,13 +40,15 @@ let test_series_render () =
 
 let outcome ?(timed_out = false) cost =
   { Strategy.cost; timed_out; wall = 0.0; plan_time = 0.0; stats_cost = 0.0;
-    result_card = 0.0; plan = "" }
+    result_card = 0.0; degraded = 0; plan = "" }
 
 let row name cells =
   { Runner.strategy = name;
     cells =
       List.mapi
-        (fun i o -> { Runner.query = Printf.sprintf "q%d" i; outcome = o })
+        (fun i o ->
+          { Runner.query = Printf.sprintf "q%d" i; outcome = o; error = None;
+            attempts = (match o with Some _ -> 1 | None -> 0) })
         cells }
 
 let test_aggregate_no_timeouts () =
@@ -102,7 +104,11 @@ let test_run_suite_applicability () =
   in
   let rows =
     Runner.run_suite
-      { Runner.budget = 1e6; seed = 1; queries = Some [ "uq16" ]; jobs = 1 }
+      { Runner.default_config with
+        Runner.budget = 1e6;
+        seed = 1;
+        queries = Some [ "uq16" ];
+        jobs = 1 }
       [ Strategy.postgres; Strategy.greedy ]
       w
   in
@@ -153,7 +159,8 @@ let test_jobs_invariance () =
         Monsoon_stats.Prior.spike_and_slab ]
   in
   let config jobs =
-    { Runner.budget = 1e6;
+    { Runner.default_config with
+      Runner.budget = 1e6;
       seed = 11;
       queries = Some [ "tq1"; "tq2"; "tq12" ];
       jobs }
