@@ -214,6 +214,35 @@ let tests =
             fun () ->
               for _ = 1 to 100 do
                 Fault.udf f
+              done));
+      (* Serve-path overheads (lib/server). Deliberately pool-free: these
+         price the admission controller and the SLO bookkeeping that wrap
+         every request, not the query work a Pool worker does — and a
+         long-lived Pool fixture would drag every other kernel's minor GCs
+         into cross-domain stop-the-world barriers. *)
+      Test.make ~name:"serve/admission-admit-release-x100"
+        (Staged.stage
+           (let adm =
+              Monsoon_server.Admission.create ~max_concurrent:4
+                ~queue_bound:16 ()
+            in
+            fun () ->
+              for _ = 1 to 100 do
+                (match Monsoon_server.Admission.admit adm with
+                | Monsoon_server.Admission.Admitted _ -> ()
+                | _ -> assert false);
+                Monsoon_server.Admission.release adm
+              done));
+      Test.make ~name:"serve/slo-record-x100"
+        (Staged.stage
+           (let slo = Monsoon_server.Slo.create ~ctx:(Ctx.null ()) () in
+            fun () ->
+              for i = 1 to 100 do
+                Monsoon_server.Slo.record slo
+                  (if i mod 10 = 0 then Monsoon_server.Slo.Degraded
+                   else Monsoon_server.Slo.Ok_)
+                  ~latency:(0.001 *. float_of_int i)
+                  ~queue_wait:0.0
               done)) ]
 
 (* --- Worker-pool scaling: one small suite, sequential vs parallel ---

@@ -114,18 +114,30 @@ let with_telemetry ~trace ~trace_format ~keep ~serve ~interval ~watch f =
     | Ok () ->
       Fun.protect
         ~finally:(fun () ->
-          (match monitor with
-          | None -> ()
-          | Some m ->
-            Monitor.stop m;
-            if watch then begin
-              match (Monitor.first m, Monitor.latest m) with
-              | Some a, Some b when a != b ->
-                print_newline ();
-                print_string (Monitor.diff_report a b)
-              | _ -> ()
-            end);
-          close_trace_dest dest)
+          (* Every teardown step runs even when an earlier one raises — a
+             failed Monitor.stop must not leak the trace file handle. The
+             first failure is re-raised once everything is down. *)
+          let failure = ref None in
+          let step g =
+            try g ()
+            with e ->
+              if !failure = None then
+                failure := Some (e, Printexc.get_raw_backtrace ())
+          in
+          step (fun () -> Option.iter Monitor.stop monitor);
+          step (fun () ->
+              match monitor with
+              | Some m when watch -> (
+                match (Monitor.first m, Monitor.latest m) with
+                | Some a, Some b when a != b ->
+                  print_newline ();
+                  print_string (Monitor.diff_report a b)
+                | _ -> ())
+              | _ -> ());
+          step (fun () -> close_trace_dest dest);
+          match !failure with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
         (fun () -> f tel buf);
       Ok ())
 
@@ -477,6 +489,356 @@ let chaos_cmd =
       $ interval_arg $ metrics_arg $ faults_arg $ seed_arg $ retries_arg
       $ deadline_arg $ chaos_jobs_arg $ id_arg)
 
+(* --- serve / load: the long-running query service --- *)
+
+let parse_faults s =
+  if s = "" then Ok Monsoon_util.Fault.no_faults
+  else Monsoon_util.Fault.spec_of_string s
+
+let service_faults_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the fault plane for served requests, e.g. \
+           $(b,udf:0.05,worker:1). $(b,udf)/$(b,row)/$(b,build) rates fire \
+           per request (Monsoon degrades to a fallback plan — the request \
+           still succeeds); $(b,worker) kills that many pool workers, which \
+           respawn.")
+
+let service_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Override the profile's seed (per-request RNG derivation and \
+           load-schedule layout).")
+
+let service_experiment_arg =
+  Arg.(
+    value & pos 0 string "imdb"
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "Benchmark experiment whose query suite is served (same ids as \
+           `explain'; default imdb).")
+
+let max_concurrent_arg =
+  Arg.(
+    value
+    & opt int Monsoon_server.Server.default_config.Monsoon_server.Server.max_concurrent
+    & info [ "max-concurrent" ] ~docv:"N"
+        ~doc:"Execution slots (worker domains); requests beyond this queue.")
+
+let queue_bound_arg =
+  Arg.(
+    value
+    & opt int Monsoon_server.Server.default_config.Monsoon_server.Server.queue_bound
+    & info [ "queue-bound" ] ~docv:"N"
+        ~doc:
+          "Admission queue bound; a request arriving with the queue full \
+           is shed with 429 Retry-After.")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt float 30.0
+    & info [ "request-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request deadline: expiry (queued or executing) answers 504. \
+           0 disables the deadline.")
+
+let latency_slo_arg =
+  Arg.(
+    value
+    & opt float Monsoon_server.Server.default_config.Monsoon_server.Server.latency_target
+    & info [ "latency-slo" ] ~docv:"SECONDS"
+        ~doc:"p95 latency objective for the end-of-run SLO report.")
+
+let availability_slo_arg =
+  Arg.(
+    value
+    & opt float
+        Monsoon_server.Server.default_config.Monsoon_server.Server.availability_target
+    & info [ "availability-slo" ] ~docv:"FRACTION"
+        ~doc:
+          "Availability objective (ok + degraded share); its complement is \
+           the error budget.")
+
+let server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
+    ~explain_ring ~latency_slo ~availability_slo =
+  { Monsoon_server.Server.max_concurrent;
+    queue_bound;
+    request_timeout =
+      (if request_timeout <= 0.0 then None else Some request_timeout);
+    seed;
+    explain_ring;
+    latency_target = latency_slo;
+    availability_target = availability_slo }
+
+(* Builds the service (telemetry context, handler, server) shared by
+   `serve' and in-process `load'. *)
+let make_server ~quick ~seed ~experiment ~spec ~config_of =
+  let tel = Ctx.create () in
+  Monitor.preregister tel.Ctx.registry;
+  let base = profile_of_flag quick in
+  let profile =
+    { base with
+      Experiments.ctx = tel;
+      seed = Option.value seed ~default:base.Experiments.seed }
+  in
+  match Experiments.service profile ~experiment ~faults:spec () with
+  | Error _ as e -> e
+  | Ok (handler, names) ->
+    let config = config_of ~seed:profile.Experiments.seed in
+    let server =
+      Monsoon_server.Server.create ~ctx:tel ~queries:names config handler
+    in
+    if spec.Monsoon_util.Fault.worker_kills > 0 then
+      Monsoon_server.Server.inject_kills server
+        spec.Monsoon_util.Fault.worker_kills;
+    Ok (server, names)
+
+let serve_cmd =
+  let doc =
+    "Serve a benchmark experiment's query suite as a long-running HTTP \
+     service on 127.0.0.1: POST /query executes a named query under \
+     admission control (bounded queue, 429 + Retry-After on overload), a \
+     concurrency limit backed by a pool of worker domains, and a \
+     per-request deadline (504 on expiry). GET /metrics, /slo, /queries, \
+     /healthz, /snapshot.json and /query/ID/explain expose the live state. \
+     SIGINT/SIGTERM drain gracefully: in-flight requests finish, the SLO \
+     report prints, and the process exits 0."
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Port to bind on 127.0.0.1 (default 0 = pick an ephemeral \
+             port; the bound port is printed to stderr and available via \
+             --port-file).")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port to $(docv) — the programmatic discovery \
+             path for tests and CI (no stderr scraping).")
+  in
+  let explain_ring_arg =
+    Arg.(
+      value
+      & opt int
+          Monsoon_server.Server.default_config.Monsoon_server.Server.explain_ring
+      & info [ "explain-ring" ] ~docv:"N"
+          ~doc:
+            "Retain flight-recorder explain reports for the last $(docv) \
+             requests (GET /query/ID/explain); 0 disables capture.")
+  in
+  let run quick faults seed port port_file max_concurrent queue_bound
+      request_timeout explain_ring latency_slo availability_slo experiment =
+    match parse_faults faults with
+    | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
+    | Ok spec -> (
+      match
+        make_server ~quick ~seed ~experiment ~spec
+          ~config_of:(fun ~seed ->
+            server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
+              ~explain_ring ~latency_slo ~availability_slo)
+      with
+      | Error _ as e -> e
+      | Ok (server, names) -> (
+        match Monsoon_server.Server.listen server ~port with
+        | Error msg ->
+          Monsoon_server.Server.stop server;
+          Error (Printf.sprintf "--port %d: %s" port msg)
+        | Ok bound -> (
+          Printf.eprintf
+            "monsoon: serving %s (%d queries) on http://127.0.0.1:%d — POST \
+             /query, GET /metrics /slo /queries /healthz\n\
+             %!"
+            experiment (List.length names) bound;
+          match
+            match port_file with
+            | None -> Ok ()
+            | Some f -> write_file f (string_of_int bound ^ "\n")
+          with
+          | Error _ as e ->
+            Monsoon_server.Server.stop server;
+            e
+          | Ok () ->
+            let stop_requested = Atomic.make false in
+            let handler =
+              Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)
+            in
+            let prev_int = Sys.signal Sys.sigint handler in
+            let prev_term = Sys.signal Sys.sigterm handler in
+            while not (Atomic.get stop_requested) do
+              try Unix.sleepf 0.2
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done;
+            Sys.set_signal Sys.sigint prev_int;
+            Sys.set_signal Sys.sigterm prev_term;
+            let adm = Monsoon_server.Server.admission server in
+            Printf.eprintf "monsoon: draining (%d in flight, %d queued)\n%!"
+              (Monsoon_server.Admission.in_flight adm)
+              (Monsoon_server.Admission.queued adm);
+            Monsoon_server.Server.stop server;
+            print_string
+              (Monsoon_server.Slo.report (Monsoon_server.Server.slo server));
+            Ok ())))
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ quick_flag $ service_faults_arg $ service_seed_arg
+      $ port_arg $ port_file_arg $ max_concurrent_arg $ queue_bound_arg
+      $ request_timeout_arg $ explain_ring_arg $ latency_slo_arg
+      $ availability_slo_arg $ service_experiment_arg)
+
+let load_cmd =
+  let doc =
+    "Replay a benchmark query suite against a query server and print the \
+     per-fingerprint latency/error breakdown plus the SLO report. With \
+     --port, drives a `monsoon serve' process over HTTP (the query list \
+     comes from GET /queries). Without it, an in-process server is \
+     created, hammered, and drained — the deterministic mode: with \
+     --clients/--count and a fixed --seed, the request schedule and \
+     per-fingerprint counts are byte-stable."
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host for --port mode.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Drive the server listening on HOST:$(docv) over HTTP instead \
+             of an in-process one.")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Closed-loop mode: $(docv) concurrent clients, each issuing \
+             its next request when the previous response lands (ignored \
+             with --rate).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop mode: seeded Poisson arrivals at $(docv) \
+             requests/second — a slow server does not throttle arrivals, \
+             so overload shows up as queueing and 429s.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Issue exactly $(docv) requests (the deterministic stop; takes \
+             precedence over --duration).")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Issue requests for $(docv) seconds (default 10).")
+  in
+  let load_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the run's machine-readable report (overall and \
+             per-fingerprint counts, throughput, exact percentiles) to \
+             $(docv).")
+  in
+  let run quick faults seed host port clients rate count duration json
+      max_concurrent queue_bound request_timeout latency_slo availability_slo
+      experiment =
+    let arrival =
+      match rate with
+      | Some r -> Loadgen.Open r
+      | None -> Loadgen.Closed clients
+    in
+    let stop =
+      match (count, duration) with
+      | Some n, _ -> Loadgen.Requests n
+      | None, Some d -> Loadgen.Duration d
+      | None, None -> Loadgen.Duration 10.0
+    in
+    let base = profile_of_flag quick in
+    let seed_v = Option.value seed ~default:base.Experiments.seed in
+    let lg_config = { Loadgen.arrival; stop; seed = seed_v } in
+    let write_json result =
+      match json with
+      | None -> Ok ()
+      | Some f ->
+        write_file f (Json.to_string (Loadgen.to_json result) ^ "\n")
+    in
+    match port with
+    | Some p -> (
+      let client = Monsoon_server.Load_client.http ~host ~port:p () in
+      match Monsoon_server.Load_client.queries client with
+      | Error msg ->
+        Error (Printf.sprintf "cannot list queries on %s:%d: %s" host p msg)
+      | Ok [] -> Error (Printf.sprintf "%s:%d advertises no queries" host p)
+      | Ok qs ->
+        let result = Loadgen.run client lg_config ~queries:qs in
+        print_string (Loadgen.report result);
+        (match Monsoon_server.Load_client.slo_report client with
+        | Ok r ->
+          print_newline ();
+          print_string r
+        | Error msg -> Printf.eprintf "monsoon: /slo: %s\n" msg);
+        write_json result)
+    | None -> (
+      match parse_faults faults with
+      | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
+      | Ok spec -> (
+        match
+          make_server ~quick ~seed ~experiment ~spec
+            ~config_of:(fun ~seed ->
+              server_config ~max_concurrent ~queue_bound ~request_timeout
+                ~seed ~explain_ring:0 ~latency_slo ~availability_slo)
+        with
+        | Error _ as e -> e
+        | Ok (server, names) ->
+          let client = Monsoon_server.Load_client.in_process server in
+          let result = Loadgen.run client lg_config ~queries:names in
+          Monsoon_server.Server.stop server;
+          print_string (Loadgen.report result);
+          print_newline ();
+          print_string
+            (Monsoon_server.Slo.report (Monsoon_server.Server.slo server));
+          write_json result))
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run $ quick_flag $ service_faults_arg $ service_seed_arg
+      $ host_arg $ port_arg $ clients_arg $ rate_arg $ count_arg
+      $ duration_arg $ load_json_arg $ max_concurrent_arg $ queue_bound_arg
+      $ request_timeout_arg $ latency_slo_arg $ availability_slo_arg
+      $ service_experiment_arg)
+
 let demo_cmd =
   let doc =
     "Walk through the paper's Sec 2.3 example: the MDP, the chosen actions, \
@@ -494,7 +856,7 @@ let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
   Cmd.group (Cmd.info "monsoon" ~doc)
     [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; chaos_cmd;
-      demo_cmd ]
+      serve_cmd; load_cmd; demo_cmd ]
 
 let () =
   match Cmd.eval_value main with

@@ -656,6 +656,49 @@ let explain profile ~experiment ~query =
       in
       Ok recorder)
 
+(* --- The serving handler (`monsoon serve` / `monsoon load`) --- *)
+
+let service profile ~experiment ?(faults = Fault.no_faults) () =
+  match workload_for profile experiment with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown experiment %S; servable: tpch (table2), imdb \
+          (table3/table4/table5), ott (table6), udf (table7/figure3)"
+         experiment)
+  | Some (w, budget, queries) ->
+    let names =
+      match queries with
+      | Some qs -> List.filter (fun q -> List.mem_assoc q w.Workload.queries) qs
+      | None -> List.map fst w.Workload.queries
+    in
+    let strategy = monsoon_strategy profile Prior.spike_and_slab in
+    let handler ~id:_ ~rng ~deadline ~recorder qname =
+      match List.assoc_opt qname w.Workload.queries with
+      | None ->
+        Error
+          (`Unknown_query
+            (Printf.sprintf "unknown query %S; GET /queries lists the suite"
+               qname))
+      | Some q ->
+        (* The Runner idiom: the fault plan splits off a copy, so a
+           rate-zero spec leaves the request's stream byte-identical to an
+           unfaulted run. Worker kills are a pool-level concern
+           (Server.inject_kills), not a per-request one. *)
+        let fault = Fault.plan faults (Rng.split (Rng.copy rng)) in
+        let ctx = Ctx.with_recorder profile.ctx recorder in
+        let o =
+          strategy.Strategy.run ~ctx ~fault ~deadline ~rng ~budget
+            w.Workload.catalog q
+        in
+        Ok
+          { Monsoon_server.Server.x_cost = o.Strategy.cost;
+            x_timed_out = o.Strategy.timed_out;
+            x_degraded = o.Strategy.degraded > 0;
+            x_plan = o.Strategy.plan }
+    in
+    Ok (handler, names)
+
 (* --- Deterministic chaos runs (`monsoon chaos`) --- *)
 
 let chaos profile ~experiment ~faults ~retries ~cell_deadline =

@@ -93,6 +93,22 @@ val explain :
     {!Monsoon_telemetry.Explain.report},
     {!Monsoon_telemetry.Recorder.to_dot} or [to_json]. *)
 
+val service :
+  profile ->
+  experiment:string ->
+  ?faults:Monsoon_util.Fault.spec ->
+  unit ->
+  (Monsoon_server.Server.handler * string list, string) result
+(** The serving-side face of a benchmark experiment: a
+    {!Monsoon_server.Server.handler} that answers the experiment's query
+    names with the Monsoon strategy (per-request RNG and deadline come from
+    the server; faults follow the Runner idiom — the per-request plan
+    splits off a copy of the stream, so a rate-zero spec is byte-identical
+    to no faults), plus the query-name list to advertise on [GET /queries].
+    [experiment] accepts the same ids as {!explain}. Worker kills in
+    [faults] are not applied here — the serve entry point passes them to
+    {!Monsoon_server.Server.inject_kills}. *)
+
 val chaos :
   profile ->
   experiment:string ->

@@ -1,0 +1,71 @@
+(** The workload driver behind [monsoon load]: replays a benchmark query
+    suite against a server through {!Monsoon_server.Load_client}, in
+    closed- or open-loop mode, and renders a per-query-fingerprint
+    latency/error breakdown.
+
+    {b Closed loop} ([Closed n]): [n] clients, each issuing its next
+    request the moment the previous response lands — the classic
+    concurrency-limited driver. With a [Requests] stop, the whole run is
+    laid out up front by {!schedule}: request [i] belongs to client
+    [i mod n] and its query is drawn from one seeded stream, so the
+    request ordering and the per-fingerprint counts are a pure function of
+    [(seed, count, clients, queries)] — byte-stable across runs and across
+    thread interleavings (the determinism contract the tests pin down).
+    With a [Duration] stop, each client draws from its own split stream
+    until the clock runs out; counts then depend on timing.
+
+    {b Open loop} ([Open rate]): arrivals come from a seeded Poisson
+    process ([rate] req/s, exponential inter-arrival gaps); each arrival
+    gets its own thread, so a slow server does not throttle the arrival
+    process — queue growth and 429s are the point of the exercise.
+
+    Latencies in the {!report} are client-observed and exactly ranked
+    (sorted samples, not histogram buckets); the server-side view lives in
+    the SLO report. *)
+
+type arrival =
+  | Closed of int  (** concurrent clients, each one-request-at-a-time *)
+  | Open of float  (** arrival rate in requests/second *)
+
+type stop =
+  | Requests of int  (** issue exactly this many requests *)
+  | Duration of float  (** issue requests for this many seconds *)
+
+type config = { arrival : arrival; stop : stop; seed : int }
+
+val schedule : config -> queries:string list -> (int * int * string) list
+(** [(index, client, query)] per request, in issue order — the
+    deterministic layout used by closed-loop [Requests] runs (and by the
+    open-loop dispatcher for its query choices). Empty for [Duration]
+    stops, which cannot be laid out ahead of time.
+    @raise Invalid_argument when [queries] is empty, [Closed n < 1] or
+    [Open rate <= 0]. *)
+
+type sample = {
+  s_index : int;  (** issue-order position *)
+  s_client : int;  (** issuing client (dispatch index in open loop) *)
+  s_query : string;
+  s_status : string;
+      (** {!Monsoon_server.Slo.outcome_label} token, or ["transport"] for a
+          client-side failure (connection refused, short read, …) *)
+  s_code : int;  (** HTTP status; 0 on transport failure *)
+  s_latency : float;  (** client-observed seconds *)
+}
+
+type result = {
+  samples : sample list;  (** in issue order *)
+  wall : float;  (** seconds, first issue to last response *)
+}
+
+val run :
+  Monsoon_server.Load_client.t -> config -> queries:string list -> result
+(** Blocks until every issued request has a response. Transport failures
+    become ["transport"] samples, never exceptions. *)
+
+val report : result -> string
+(** The per-fingerprint table (count, per-outcome counts, exact
+    p50/p95/p99 client latency) plus a totals row and a throughput line. *)
+
+val to_json : result -> Monsoon_telemetry.Json.t
+(** Machine-readable twin of {!report} ([monsoon load --json]): overall
+    counts and throughput plus one object per fingerprint. *)

@@ -1,0 +1,123 @@
+open Monsoon_util
+open Monsoon_telemetry
+
+type t = {
+  max_concurrent : int;
+  queue_bound : int;
+  lock : Mutex.t;
+  slot_freed : Condition.t;
+  mutable in_flight : int;
+  mutable queued : int;
+  mutable closing : bool;
+  g_depth : Metric.Gauge.t;
+  g_in_flight : Metric.Gauge.t;
+}
+
+type decision = Admitted of float | Rejected | Timed_out | Closed
+
+let create ?ctx ~max_concurrent ~queue_bound () =
+  if max_concurrent < 1 then
+    invalid_arg "Admission.create: max_concurrent must be >= 1";
+  if queue_bound < 0 then
+    invalid_arg "Admission.create: queue_bound must be >= 0";
+  let tel = match ctx with Some c -> c | None -> Ctx.null () in
+  { max_concurrent;
+    queue_bound;
+    lock = Mutex.create ();
+    slot_freed = Condition.create ();
+    in_flight = 0;
+    queued = 0;
+    closing = false;
+    g_depth = Ctx.gauge tel "server.queue_depth";
+    g_in_flight = Ctx.gauge tel "server.in_flight" }
+
+(* Gauge updates happen under the lock, so /metrics never observes a
+   transient where a request is counted both queued and in flight. *)
+let export t =
+  Metric.Gauge.set t.g_depth (float_of_int t.queued);
+  Metric.Gauge.set t.g_in_flight (float_of_int t.in_flight)
+
+let admit ?(deadline = Deadline.none) t =
+  Mutex.lock t.lock;
+  let decision =
+    if t.closing then Closed
+    else if t.in_flight < t.max_concurrent then begin
+      t.in_flight <- t.in_flight + 1;
+      export t;
+      Admitted 0.0
+    end
+    else if t.queued >= t.queue_bound then Rejected
+    else if Deadline.expired deadline then Timed_out
+    else begin
+      let t0 = Timer.now () in
+      t.queued <- t.queued + 1;
+      export t;
+      (* Wait for a slot. The deadline is re-checked at every wakeup: a
+         condvar has no timed wait, but on a loaded server wakeups arrive
+         at completion rate, and an idle queue means no one is waiting. *)
+      let rec wait () =
+        if t.closing then Closed
+        else if Deadline.expired deadline then Timed_out
+        else if t.in_flight < t.max_concurrent then begin
+          t.in_flight <- t.in_flight + 1;
+          Admitted (Timer.now () -. t0)
+        end
+        else begin
+          Condition.wait t.slot_freed t.lock;
+          wait ()
+        end
+      in
+      let d = wait () in
+      t.queued <- t.queued - 1;
+      export t;
+      (* A waiter that resolved without taking the slot must pass the
+         wakeup on, or a concurrent release could strand another waiter. *)
+      (match d with Admitted _ -> () | _ -> Condition.signal t.slot_freed);
+      d
+    end
+  in
+  Mutex.unlock t.lock;
+  decision
+
+let release t =
+  Mutex.lock t.lock;
+  if t.in_flight <= 0 then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Admission.release: no slot held"
+  end;
+  t.in_flight <- t.in_flight - 1;
+  export t;
+  (* Broadcast, not signal: waiters also wake to notice tripped deadlines
+     and closing, and [drain] shares the condvar — waking everyone is the
+     simple way to guarantee no waiter is stranded. The queue is bounded,
+     so the thundering herd is too. *)
+  Condition.broadcast t.slot_freed;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.slot_freed;
+  Mutex.unlock t.lock
+
+let drain t =
+  close t;
+  Mutex.lock t.lock;
+  while t.in_flight > 0 do
+    Condition.wait t.slot_freed t.lock
+  done;
+  Mutex.unlock t.lock
+
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = t.queued in
+  Mutex.unlock t.lock;
+  n
+
+let max_concurrent t = t.max_concurrent

@@ -1,0 +1,65 @@
+(** Bounded admission for the serving layer: a concurrency limit plus a
+    bounded wait queue, the two knobs that keep an overloaded server
+    shedding load (429) instead of queueing without bound.
+
+    At most [max_concurrent] requests hold an execution slot at once.
+    A request arriving with every slot taken waits in the queue — up to
+    [queue_bound] waiters — and is woken when a slot frees. A request
+    arriving with the queue already full is {!Rejected} immediately: the
+    caller turns that into [429 Retry-After], never into latency.
+
+    The controller is a [Mutex]/[Condition] pair shared by the server's
+    connection threads; it performs no execution itself (admitted requests
+    run on a {!Monsoon_util.Pool} sized to [max_concurrent], so the two
+    bounds agree). Queue wakeup order is unspecified — under a saturated
+    server every waiter's wait is dominated by execution time, not by
+    position.
+
+    With a [?ctx], the controller keeps the [server.queue_depth] and
+    [server.in_flight] gauges current on every transition, so /metrics
+    shows live occupancy. *)
+
+type t
+
+type decision =
+  | Admitted of float
+      (** holds an execution slot; the payload is seconds spent queued
+          (0 when a slot was free on arrival). Balance with {!release}. *)
+  | Rejected  (** queue at its bound — shed the request (429) *)
+  | Timed_out
+      (** the request's deadline expired while it waited in the queue
+          (504); the slot was never held *)
+  | Closed  (** draining or closed — no new work (503) *)
+
+val create :
+  ?ctx:Monsoon_telemetry.Ctx.t ->
+  max_concurrent:int ->
+  queue_bound:int ->
+  unit ->
+  t
+(** @raise Invalid_argument when [max_concurrent < 1] or [queue_bound < 0]. *)
+
+val admit : ?deadline:Monsoon_util.Deadline.t -> t -> decision
+(** Blocks only in the {!Admitted}-after-queueing case. The deadline is
+    checked on entry and at every wakeup; a queued request whose deadline
+    trips resolves to {!Timed_out} at the next slot handoff. *)
+
+val release : t -> unit
+(** Give an admitted request's slot back, waking one waiter.
+    @raise Invalid_argument when no slot is held (unbalanced release). *)
+
+val close : t -> unit
+(** Stop admitting: subsequent {!admit}s (and every current waiter) resolve
+    to {!Closed}. In-flight requests keep their slots. Idempotent. *)
+
+val drain : t -> unit
+(** {!close}, then block until every held slot is released — the graceful-
+    shutdown barrier between "stop accepting" and "stop the pool". *)
+
+val in_flight : t -> int
+(** Slots currently held. *)
+
+val queued : t -> int
+(** Requests currently waiting. *)
+
+val max_concurrent : t -> int

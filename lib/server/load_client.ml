@@ -1,0 +1,181 @@
+open Monsoon_telemetry
+
+type t = In_process of Server.t | Http of { host : string; port : int }
+
+let in_process s = In_process s
+let http ?(host = "127.0.0.1") ~port () = Http { host; port }
+
+type outcome = {
+  o_query : string;
+  o_status : string;
+  o_code : int;
+  o_cost : float;
+  o_latency : float;
+  o_queue_wait : float;
+}
+
+(* --- raw HTTP/1.1, one connection per request --- *)
+
+let find_substring s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i =
+    if i + n > m then None
+    else if String.sub s i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_to_eof fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let header_value headers name =
+  String.split_on_char '\n' headers
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | None -> None
+         | Some i ->
+           if String.lowercase_ascii (String.trim (String.sub line 0 i)) = name
+           then
+             Some
+               (String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)))
+           else None)
+
+(* The server answers [Connection: close], so read-to-EOF delimits the
+   response; the Content-Length check then catches short reads. *)
+let parse_response raw =
+  match find_substring raw "\r\n\r\n" with
+  | None -> Error "malformed response: no header terminator"
+  | Some i -> (
+    let headers = String.sub raw 0 i in
+    let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+    match
+      Option.bind (header_value headers "content-length") int_of_string_opt
+    with
+    | Some want when want <> String.length body ->
+      Error
+        (Printf.sprintf "short read: Content-Length %d, body %d bytes" want
+           (String.length body))
+    | _ -> (
+      match
+        String.split_on_char ' ' (List.hd (String.split_on_char '\r' headers))
+      with
+      | _http :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some c -> Ok (c, body)
+        | None -> Error ("malformed status line: " ^ code))
+      | _ -> Error "malformed status line"))
+
+let http_request ~host ~port ~meth ~path ~body =
+  match
+    try
+      Ok
+        (try Unix.inet_addr_of_string host
+         with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0))
+    with Not_found -> Error ("unknown host: " ^ host)
+  with
+  | Error _ as e -> e
+  | Ok addr -> (
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+    | fd -> (
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      match
+        Fun.protect ~finally (fun () ->
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+            write_all fd
+              (Printf.sprintf
+                 "%s %s HTTP/1.1\r\n\
+                  Host: %s:%d\r\n\
+                  Content-Type: application/json\r\n\
+                  Content-Length: %d\r\n\
+                  Connection: close\r\n\
+                  \r\n\
+                  %s"
+                 meth path host port (String.length body) body);
+            read_to_eof fd)
+      with
+      | raw -> parse_response raw
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+      ))
+
+(* --- the interface --- *)
+
+let parse_outcome qname code body =
+  match Json.of_string body with
+  | Error m -> Error ("unparseable response body: " ^ m)
+  | Ok j -> (
+    let str k = Option.bind (Json.member k j) Json.to_str in
+    let num k = Option.bind (Json.member k j) Json.to_float in
+    match (str "status", num "cost", num "latency_s", num "queue_wait_s") with
+    | Some st, Some c, Some l, Some qw ->
+      Ok
+        { o_query = qname;
+          o_status = st;
+          o_code = code;
+          o_cost = c;
+          o_latency = l;
+          o_queue_wait = qw }
+    | _ -> Error "response body missing fields")
+
+let query t qname =
+  match t with
+  | In_process s ->
+    let r = Server.submit s qname in
+    Ok
+      { o_query = qname;
+        o_status = Slo.outcome_label r.Server.rs_outcome;
+        o_code = r.Server.rs_code;
+        o_cost = r.Server.rs_cost;
+        o_latency = r.Server.rs_latency;
+        o_queue_wait = r.Server.rs_queue_wait }
+  | Http { host; port } -> (
+    let body = Json.to_string (Json.Obj [ ("query", Json.Str qname) ]) in
+    match http_request ~host ~port ~meth:"POST" ~path:"/query" ~body with
+    | Error _ as e -> e
+    | Ok (code, body) -> parse_outcome qname code body)
+
+let queries t =
+  match t with
+  | In_process s -> Ok (Server.queries s)
+  | Http { host; port } -> (
+    match http_request ~host ~port ~meth:"GET" ~path:"/queries" ~body:"" with
+    | Error _ as e -> e
+    | Ok (200, body) -> (
+      match Json.of_string body with
+      | Ok (Json.Arr items) ->
+        Ok (List.filter_map Json.to_str items)
+      | Ok _ -> Error "expected a JSON array of query names"
+      | Error m -> Error ("unparseable /queries body: " ^ m))
+    | Ok (code, _) -> Error (Printf.sprintf "/queries answered %d" code))
+
+let slo_report t =
+  match t with
+  | In_process s -> Ok (Slo.report (Server.slo s))
+  | Http { host; port } -> (
+    match http_request ~host ~port ~meth:"GET" ~path:"/slo" ~body:"" with
+    | Error _ as e -> e
+    | Ok (200, body) -> Ok body
+    | Ok (code, _) -> Error (Printf.sprintf "/slo answered %d" code))

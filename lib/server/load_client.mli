@@ -1,0 +1,35 @@
+(** One client-side door to a running server, in process or over HTTP.
+
+    The load generator speaks this interface so the same driver loop can
+    hammer a {!Server.t} living in the same process (deterministic — no
+    sockets, no kernel scheduling in the measured path) or a server across
+    a socket ([monsoon serve] in another process). Every call issues one
+    request and blocks until its response. *)
+
+type t
+
+val in_process : Server.t -> t
+
+val http : ?host:string -> port:int -> unit -> t
+(** Raw stdlib-Unix HTTP/1.1, one connection per request (the server is
+    [Connection: close]). Default host ["127.0.0.1"]. *)
+
+type outcome = {
+  o_query : string;
+  o_status : string;  (** {!Slo.outcome_label} token, e.g. ["ok"] *)
+  o_code : int;  (** HTTP status (mapped, also in in-process mode) *)
+  o_cost : float;
+  o_latency : float;  (** server-measured seconds *)
+  o_queue_wait : float;  (** server-measured seconds *)
+}
+
+val query : t -> string -> (outcome, string) result
+(** Issue one named query. [Error] is a transport or protocol failure
+    (connection refused, short read, unparseable response) — a served
+    429/500/504 is an [Ok] outcome carrying that code. *)
+
+val queries : t -> (string list, string) result
+(** The query names the server advertises ([GET /queries]). *)
+
+val slo_report : t -> (string, string) result
+(** The server's live SLO report ([GET /slo]). *)

@@ -1,0 +1,134 @@
+open Monsoon_telemetry
+
+type outcome = Ok_ | Degraded | Rejected | Timed_out | Failed
+
+let outcome_label = function
+  | Ok_ -> "ok"
+  | Degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Timed_out -> "timeout"
+  | Failed -> "error"
+
+type t = {
+  latency_target : float;
+  availability_target : float;
+  h_latency : Metric.Histogram.t;
+  h_queue_wait : Metric.Histogram.t;
+  c_requests : Metric.Counter.t;
+  c_ok : Metric.Counter.t;
+  c_degraded : Metric.Counter.t;
+  c_rejected : Metric.Counter.t;
+  c_timeout : Metric.Counter.t;
+  c_error : Metric.Counter.t;
+}
+
+let create ?ctx ?(latency_target = 1.0) ?(availability_target = 0.99) () =
+  if latency_target <= 0.0 then
+    invalid_arg "Slo.create: latency_target must be > 0";
+  if availability_target < 0.0 || availability_target > 1.0 then
+    invalid_arg "Slo.create: availability_target must be in [0,1]";
+  let tel = match ctx with Some c -> c | None -> Ctx.null () in
+  { latency_target;
+    availability_target;
+    h_latency = Ctx.histogram tel "server.latency";
+    h_queue_wait = Ctx.histogram tel "server.queue_wait";
+    c_requests = Ctx.counter tel "server.requests";
+    c_ok = Ctx.counter tel "server.ok";
+    c_degraded = Ctx.counter tel "server.degraded";
+    c_rejected = Ctx.counter tel "server.rejected";
+    c_timeout = Ctx.counter tel "server.timeout";
+    c_error = Ctx.counter tel "server.error" }
+
+let counter_for t = function
+  | Ok_ -> t.c_ok
+  | Degraded -> t.c_degraded
+  | Rejected -> t.c_rejected
+  | Timed_out -> t.c_timeout
+  | Failed -> t.c_error
+
+let record t outcome ~latency ~queue_wait =
+  Metric.Counter.inc t.c_requests;
+  Metric.Counter.inc (counter_for t outcome);
+  Metric.Histogram.observe t.h_latency latency;
+  Metric.Histogram.observe t.h_queue_wait queue_wait
+
+type counts = {
+  total : int;
+  ok : int;
+  degraded : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+}
+
+let counts t =
+  let v c = int_of_float (Metric.Counter.value c) in
+  { total = v t.c_requests;
+    ok = v t.c_ok;
+    degraded = v t.c_degraded;
+    rejected = v t.c_rejected;
+    timed_out = v t.c_timeout;
+    failed = v t.c_error }
+
+(* --- report --- *)
+
+let secs v = Printf.sprintf "%.4gs" v
+let pct v = Printf.sprintf "%.2f%%" v
+
+let quantile_row name h =
+  let q p = secs (Metric.Histogram.quantile h p) in
+  let maxv =
+    if Metric.Histogram.count h = 0 then secs 0.0
+    else secs (Metric.Histogram.max_value h)
+  in
+  [ name; q 0.5; q 0.95; q 0.99; maxv ]
+
+let report t =
+  let c = counts t in
+  if c.total = 0 then "SLO report: no requests recorded\n"
+  else begin
+    let share n = pct (100.0 *. float_of_int n /. float_of_int c.total) in
+    let outcome_table =
+      Snapshot.table ~title:"Outcomes"
+        ~header:[ "Outcome"; "Count"; "Share" ]
+        [ [ "ok"; string_of_int c.ok; share c.ok ];
+          [ "degraded"; string_of_int c.degraded; share c.degraded ];
+          [ "rejected"; string_of_int c.rejected; share c.rejected ];
+          [ "timeout"; string_of_int c.timed_out; share c.timed_out ];
+          [ "error"; string_of_int c.failed; share c.failed ] ]
+    in
+    let latency_table =
+      Snapshot.table
+        ~title:
+          "Latency (log-bucketed: quantiles are bucket upper bounds)"
+        ~header:[ "Metric"; "p50"; "p95"; "p99"; "Max" ]
+        [ quantile_row "latency" t.h_latency;
+          quantile_row "queue wait" t.h_queue_wait ]
+    in
+    let achieved_p95 = Metric.Histogram.quantile t.h_latency 0.95 in
+    let availability =
+      float_of_int (c.ok + c.degraded) /. float_of_int c.total
+    in
+    let failure_share = 1.0 -. availability in
+    let budget = 1.0 -. t.availability_target in
+    let budget_spent =
+      if budget <= 0.0 then
+        if failure_share > 0.0 then infinity else 0.0
+      else 100.0 *. failure_share /. budget
+    in
+    let status ok = if ok then "met" else "MISSED" in
+    let objective_table =
+      Snapshot.table ~title:"Objectives"
+        ~header:[ "Objective"; "Target"; "Achieved"; "Status" ]
+        [ [ "p95 latency"; secs t.latency_target; secs achieved_p95;
+            status (achieved_p95 <= t.latency_target) ];
+          [ "availability"; pct (100.0 *. t.availability_target);
+            pct (100.0 *. availability);
+            status (availability >= t.availability_target) ];
+          [ "error budget"; pct (100.0 *. budget); pct (100.0 *. failure_share);
+            (if budget_spent = infinity then "spent inf"
+             else Printf.sprintf "spent %.1f%%" budget_spent) ] ]
+    in
+    Printf.sprintf "SLO report (%d requests)\n\n%s\n%s\n%s" c.total
+      outcome_table latency_table objective_table
+  end

@@ -1,0 +1,63 @@
+(** Per-request outcome accounting and SLO reporting for the serving
+    layer.
+
+    Every finished request is {!record}ed once with its outcome, its
+    end-to-end latency, and the part of that latency spent in the admission
+    queue. Recording feeds the registry — so /metrics carries the numbers
+    live — and the same instruments render the end-of-run report: achieved
+    p50/p95/p99 vs the latency target, achieved availability vs the
+    availability target, and how much of the error budget the run spent.
+
+    Metric names (all preregistered by {!Monsoon_telemetry.Monitor}):
+    counters [server.requests] (total) and [server.ok] / [server.degraded]
+    / [server.rejected] / [server.timeout] / [server.error] (one per
+    outcome); histograms [server.latency] and [server.queue_wait]
+    (seconds, log-bucketed — quantiles are accurate to the bucket base).
+
+    The report text is a pure function of the recorded values (no
+    wall-clock reads), so fixed inputs render byte-identically — the
+    golden-test hook the harness relies on. *)
+
+type outcome =
+  | Ok_  (** served within its deadline *)
+  | Degraded
+      (** served, but an injected fault forced the fallback plan — counts
+          as availability, shows up in its own column *)
+  | Rejected  (** shed at admission (429) *)
+  | Timed_out  (** deadline expired, queued or executing (504) *)
+  | Failed  (** execution error (500) *)
+
+val outcome_label : outcome -> string
+(** ["ok"] / ["degraded"] / ["rejected"] / ["timeout"] / ["error"] — the
+    wire and report token. *)
+
+type t
+
+val create :
+  ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?latency_target:float ->
+  ?availability_target:float ->
+  unit ->
+  t
+(** [latency_target] (default 1.0) is the p95 latency objective in
+    seconds; [availability_target] (default 0.99) the fraction of requests
+    that must succeed (ok or degraded). The complement of the availability
+    target is the error budget. *)
+
+val record : t -> outcome -> latency:float -> queue_wait:float -> unit
+
+type counts = {
+  total : int;
+  ok : int;
+  degraded : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+}
+
+val counts : t -> counts
+
+val report : t -> string
+(** The end-of-run SLO report: outcome table, latency and queue-wait
+    quantiles, and target-vs-achieved lines with error-budget spend.
+    Renders a one-line note when nothing was recorded. *)

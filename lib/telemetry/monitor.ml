@@ -162,7 +162,8 @@ let tick_line a b =
    /metrics and /snapshot.json are fully populated (at zero) from the
    very first scrape, before any query has run — CI smoke tests and
    dashboards need not race the first driver run. The list mirrors the
-   names used in driver.ml / mcts.ml / executor.ml / runner.ml. *)
+   names used in driver.ml / mcts.ml / executor.ml / runner.ml and the
+   serving layer (lib/server: admission.ml / slo.ml). *)
 
 let preregister reg =
   List.iter
@@ -173,15 +174,18 @@ let preregister reg =
       "exec.tuples_built"; "exec.tuples_probed"; "exec.tuples_emitted";
       "exec.sigma_objects"; "exec.budget_spent"; "fault.injected";
       "runner.cells"; "runner.retries"; "runner.quarantined";
-      "monitor.ticks" ];
+      "monitor.ticks"; "server.requests"; "server.ok"; "server.degraded";
+      "server.rejected"; "server.timeout"; "server.error" ];
   List.iter
     (fun n -> ignore (Registry.gauge reg n))
     [ "runner.cells_expected"; "pool.queued"; "pool.in_flight";
       "pool.completed"; "pool.respawned"; "gc.heap_words"; "gc.minor_words";
-      "gc.major_words"; "gc.minor_collections"; "gc.major_collections" ];
+      "gc.major_words"; "gc.minor_collections"; "gc.major_collections";
+      "server.queue_depth"; "server.in_flight" ];
   List.iter
     (fun n -> ignore (Registry.histogram reg n))
-    [ "driver.q_error"; "driver.replans_per_query"; "mcts.tree_depth" ]
+    [ "driver.q_error"; "driver.replans_per_query"; "mcts.tree_depth";
+      "server.latency"; "server.queue_wait" ]
 
 (* --- the monitor itself --- *)
 

@@ -114,6 +114,33 @@ let submit t task =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
+(* One task, synchronously: the serving layer's admission hook. Cheaper
+   than a single-item [map] (no arrays, no option boxing) and callable from
+   many systhreads at once — each call owns its private completion state. *)
+let run t f =
+  let lock = Mutex.create () in
+  let settled = Condition.create () in
+  let result = ref None in
+  submit t (fun () ->
+      let outcome =
+        match f () with
+        | y -> Ok y
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock lock;
+      result := Some outcome;
+      Condition.signal settled;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !result = None do
+    Condition.wait settled lock
+  done;
+  Mutex.unlock lock;
+  match !result with
+  | Some (Ok y) -> y
+  | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | None -> assert false
+
 let map ?(cancel = Deadline.none) t f xs =
   match xs with
   | [] -> []

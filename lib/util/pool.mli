@@ -53,6 +53,15 @@ val inject_kills : t -> int -> unit
 val respawned : t -> int
 (** Workers killed-and-replaced since the pool was created. *)
 
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] executes the single task [f] on one of the pool's workers
+    and blocks the calling thread until it settles, returning its result or
+    re-raising its exception (with backtrace). This is the serving layer's
+    unit of admission: an admitted request borrows exactly one worker
+    domain for the duration of its query, so a pool of [n] workers bounds
+    execution concurrency at [n] no matter how many threads submit.
+    @raise Invalid_argument when the pool was shut down. *)
+
 val map : ?cancel:Deadline.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element on the pool's workers and
     returns the results in input order. Blocks until all items settle; if
