@@ -391,6 +391,27 @@ let explain_cmd =
     Term.(
       const run $ quick_flag $ dot_arg $ json_arg $ experiment_arg $ query_arg)
 
+(* Shared by chaos / serve / load: open the audit log (when asked for),
+   run the body, and close it even on error paths. *)
+let qlog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "qlog" ] ~docv:"FILE"
+        ~doc:
+          "Append one audit-log record per query (JSONL) to $(docv): trace \
+           id, fingerprint, outcome, cost, replans, worst q-error. Analyse \
+           with `monsoon qlog'.")
+
+let with_qlog path f =
+  match path with
+  | None -> f None
+  | Some p -> (
+    match Qlog.create p with
+    | Error msg -> Error msg
+    | Ok q ->
+      Fun.protect ~finally:(fun () -> Qlog.close q) (fun () -> f (Some q)))
+
 let chaos_cmd =
   let doc =
     "Run a benchmark experiment's full suite with the fault plane armed — \
@@ -454,40 +475,41 @@ let chaos_cmd =
              every value.")
   in
   let run quick trace trace_format serve interval metrics faults seed retries
-      deadline jobs id =
+      deadline jobs qlog_path id =
     match Monsoon_util.Fault.spec_of_string faults with
     | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
     | Ok spec ->
-      let inner = ref (Ok ()) in
-      let outer =
-        with_telemetry ~trace ~trace_format ~keep:false ~serve ~interval
-          ~watch:false (fun tel _ ->
-            let base = profile_of_flag quick in
-            let profile =
-              { base with
-                Experiments.ctx = tel;
-                jobs;
-                seed = Option.value seed ~default:base.Experiments.seed }
-            in
-            match
-              Experiments.chaos profile ~experiment:id ~faults:spec ~retries
-                ~cell_deadline:deadline
-            with
-            | Error msg -> inner := Error msg
-            | Ok report ->
-              print_string report;
-              if metrics then begin
-                print_newline ();
-                print_string (metrics_report tel)
-              end)
-      in
-      (match outer with Ok () -> !inner | Error _ as e -> e)
+      with_qlog qlog_path (fun qlog ->
+          let inner = ref (Ok ()) in
+          let outer =
+            with_telemetry ~trace ~trace_format ~keep:false ~serve ~interval
+              ~watch:false (fun tel _ ->
+                let base = profile_of_flag quick in
+                let profile =
+                  { base with
+                    Experiments.ctx = tel;
+                    jobs;
+                    seed = Option.value seed ~default:base.Experiments.seed }
+                in
+                match
+                  Experiments.chaos profile ~experiment:id ~faults:spec
+                    ~retries ~cell_deadline:deadline ?qlog ()
+                with
+                | Error msg -> inner := Error msg
+                | Ok report ->
+                  print_string report;
+                  if metrics then begin
+                    print_newline ();
+                    print_string (metrics_report tel)
+                  end)
+          in
+          match outer with Ok () -> !inner | Error _ as e -> e)
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ quick_flag $ trace_arg $ trace_format_arg $ serve_arg
       $ interval_arg $ metrics_arg $ faults_arg $ seed_arg $ retries_arg
-      $ deadline_arg $ chaos_jobs_arg $ id_arg)
+      $ deadline_arg $ chaos_jobs_arg $ qlog_arg $ id_arg)
 
 (* --- serve / load: the long-running query service --- *)
 
@@ -566,8 +588,18 @@ let availability_slo_arg =
           "Availability objective (ok + degraded share); its complement is \
            the error budget.")
 
+let slow_query_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-query" ] ~docv:"SECONDS"
+        ~doc:
+          "Slow-query threshold: a request at or over $(docv) seconds pins \
+           its flight-recorder capture outside the explain ring (last 256 \
+           kept), so slow outliers stay auditable under churn.")
+
 let server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
-    ~explain_ring ~latency_slo ~availability_slo =
+    ~explain_ring ~latency_slo ~availability_slo ~slow_query ~qlog =
   { Monsoon_server.Server.max_concurrent;
     queue_bound;
     request_timeout =
@@ -575,7 +607,9 @@ let server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
     seed;
     explain_ring;
     latency_target = latency_slo;
-    availability_target = availability_slo }
+    availability_target = availability_slo;
+    slow_query;
+    qlog }
 
 (* Builds the service (telemetry context, handler, server) shared by
    `serve' and in-process `load'. *)
@@ -641,15 +675,17 @@ let serve_cmd =
              requests (GET /query/ID/explain); 0 disables capture.")
   in
   let run quick faults seed port port_file max_concurrent queue_bound
-      request_timeout explain_ring latency_slo availability_slo experiment =
+      request_timeout explain_ring latency_slo availability_slo slow_query
+      qlog_path experiment =
     match parse_faults faults with
     | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
-    | Ok spec -> (
-      match
+    | Ok spec ->
+      with_qlog qlog_path @@ fun qlog ->
+      (match
         make_server ~quick ~seed ~experiment ~spec
           ~config_of:(fun ~seed ->
             server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
-              ~explain_ring ~latency_slo ~availability_slo)
+              ~explain_ring ~latency_slo ~availability_slo ~slow_query ~qlog)
       with
       | Error _ as e -> e
       | Ok (server, names) -> (
@@ -698,7 +734,8 @@ let serve_cmd =
       const run $ quick_flag $ service_faults_arg $ service_seed_arg
       $ port_arg $ port_file_arg $ max_concurrent_arg $ queue_bound_arg
       $ request_timeout_arg $ explain_ring_arg $ latency_slo_arg
-      $ availability_slo_arg $ service_experiment_arg)
+      $ availability_slo_arg $ slow_query_arg $ qlog_arg
+      $ service_experiment_arg)
 
 let load_cmd =
   let doc =
@@ -773,7 +810,7 @@ let load_cmd =
   in
   let run quick faults seed host port clients rate count duration json
       max_concurrent queue_bound request_timeout latency_slo availability_slo
-      experiment =
+      qlog_path experiment =
     let arrival =
       match rate with
       | Some r -> Loadgen.Open r
@@ -813,12 +850,14 @@ let load_cmd =
     | None -> (
       match parse_faults faults with
       | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
-      | Ok spec -> (
-        match
+      | Ok spec ->
+        with_qlog qlog_path @@ fun qlog ->
+        (match
           make_server ~quick ~seed ~experiment ~spec
             ~config_of:(fun ~seed ->
               server_config ~max_concurrent ~queue_bound ~request_timeout
-                ~seed ~explain_ring:0 ~latency_slo ~availability_slo)
+                ~seed ~explain_ring:0 ~latency_slo ~availability_slo
+                ~slow_query:None ~qlog)
         with
         | Error _ as e -> e
         | Ok (server, names) ->
@@ -837,7 +876,74 @@ let load_cmd =
       $ host_arg $ port_arg $ clients_arg $ rate_arg $ count_arg
       $ duration_arg $ load_json_arg $ max_concurrent_arg $ queue_bound_arg
       $ request_timeout_arg $ latency_slo_arg $ availability_slo_arg
-      $ service_experiment_arg)
+      $ qlog_arg $ service_experiment_arg)
+
+let qlog_cmd =
+  let doc =
+    "Aggregate a query audit log written by `serve --qlog', `load --qlog' \
+     or `chaos --qlog': a per-class table (requests, outcome mix, mean \
+     cost, replans, worst q-error), the slowest requests, and the worst \
+     cardinality misestimates. With --diff OLD, compares OLD against FILE \
+     per query class on the deterministic fields only (cost, outcomes, \
+     replans — never wall-clock latency) and renders a regression report; \
+     exits 1 when any class regressed, so CI can gate on it."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Query log (JSONL) to aggregate — the NEW log under --diff.")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"OLD"
+          ~doc:
+            "Compare $(docv) (the baseline log) against FILE and report \
+             per-class regressions.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the slowest / worst-misestimate rankings.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 1.1
+      & info [ "threshold" ] ~docv:"RATIO"
+          ~doc:
+            "Mean-cost growth ratio above which a class counts as \
+             regressed (default 1.1 = +10%).")
+  in
+  let run diff top threshold file =
+    match Qlog.load file with
+    | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+    | Ok records -> (
+      match diff with
+      | None ->
+        print_string (Qlog.report ~top records);
+        Ok ()
+      | Some old_file -> (
+        match Qlog.load old_file with
+        | Error msg -> Error (Printf.sprintf "%s: %s" old_file msg)
+        | Ok old_records ->
+          let report, regressions =
+            Qlog.diff_report ~threshold ~old_:old_records records
+          in
+          print_string report;
+          if regressions = 0 then Ok ()
+          else
+            Error
+              (Printf.sprintf "%d class%s regressed" regressions
+                 (if regressions = 1 then "" else "es"))))
+  in
+  Cmd.v (Cmd.info "qlog" ~doc)
+    Term.(const run $ diff_arg $ top_arg $ threshold_arg $ file_arg)
 
 let demo_cmd =
   let doc =
@@ -856,7 +962,7 @@ let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
   Cmd.group (Cmd.info "monsoon" ~doc)
     [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; chaos_cmd;
-      serve_cmd; load_cmd; demo_cmd ]
+      serve_cmd; load_cmd; qlog_cmd; demo_cmd ]
 
 let () =
   match Cmd.eval_value main with

@@ -673,7 +673,7 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
       | None -> List.map fst w.Workload.queries
     in
     let strategy = monsoon_strategy profile Prior.spike_and_slab in
-    let handler ~id:_ ~rng ~deadline ~recorder qname =
+    let handler ~id:_ ~rng ~deadline ~recorder ~trace qname =
       match List.assoc_opt qname w.Workload.queries with
       | None ->
         Error
@@ -686,7 +686,9 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
            unfaulted run. Worker kills are a pool-level concern
            (Server.inject_kills), not a per-request one. *)
         let fault = Fault.plan faults (Rng.split (Rng.copy rng)) in
-        let ctx = Ctx.with_recorder profile.ctx recorder in
+        let ctx =
+          Ctx.with_trace_id (Ctx.with_recorder profile.ctx recorder) trace
+        in
         let o =
           strategy.Strategy.run ~ctx ~fault ~deadline ~rng ~budget
             w.Workload.catalog q
@@ -701,7 +703,7 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
 
 (* --- Deterministic chaos runs (`monsoon chaos`) --- *)
 
-let chaos profile ~experiment ~faults ~retries ~cell_deadline =
+let chaos profile ~experiment ~faults ~retries ~cell_deadline ?qlog () =
   match workload_for profile experiment with
   | None ->
     Error
@@ -717,7 +719,8 @@ let chaos profile ~experiment ~faults ~retries ~cell_deadline =
         jobs = profile.jobs;
         faults = Some faults;
         retries;
-        cell_deadline }
+        cell_deadline;
+        qlog }
     in
     let rows = Runner.run_suite ~ctx:profile.ctx config (seven profile) w in
     (* Everything below is derived from the returned cells and the metric

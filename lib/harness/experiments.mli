@@ -115,6 +115,8 @@ val chaos :
   faults:Monsoon_util.Fault.spec ->
   retries:int ->
   cell_deadline:float option ->
+  ?qlog:Monsoon_telemetry.Qlog.t ->
+  unit ->
   (string, string) result
 (** Run a benchmark experiment's suite (all seven implementations) with the
     fault plane armed and render a survival report: per-implementation
@@ -122,4 +124,5 @@ val chaos :
     and the resilience counters. The report contains no wall-clock numbers,
     so the same seed + spec produces a byte-identical report across runs
     and across [profile.jobs] settings. [experiment] accepts the same ids
-    as {!explain}. *)
+    as {!explain}. [?qlog] audits every cell attempt
+    ({!Monsoon_harness.Runner.config}[.qlog]). *)

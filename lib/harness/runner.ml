@@ -11,6 +11,7 @@ type config = {
   faults : Fault.spec option;
   retries : int;
   cell_deadline : float option;
+  qlog : Qlog.t option;
 }
 
 let default_config =
@@ -20,7 +21,8 @@ let default_config =
     jobs = 1;
     faults = None;
     retries = 2;
-    cell_deadline = None }
+    cell_deadline = None;
+    qlog = None }
 
 (* A fresh deterministic stream per (strategy, query) cell. The split
    decouples the stream from the raw hash seed, and — because each cell's
@@ -69,6 +71,24 @@ let run_suite ?ctx ?(cancel = Deadline.none) config strategies (w : Workload.t)
       { query = qname; outcome = None; error = None; attempts = 0 }
     end
     else begin
+      (* One qlog record per attempt, under a trace id derived from the same
+         tuple the attempt RNG derives from — so two fixed-seed runs mint
+         identical trace ids and their qlogs diff byte-stably. *)
+      let trace_for k =
+        Printf.sprintf "r-%08x"
+          (Hashtbl.hash (config.seed, s.Strategy.name, qname, k)
+          land 0xffffffff)
+      in
+      let qlog_append ~trace ~outcome ?(detail = "") ?(latency = 0.0) ?cost
+          ?result_card ?plan events =
+        match config.qlog with
+        | None -> ()
+        | Some qlog ->
+          Qlog.append qlog
+            (Qlog.of_events ~trace ~query:qname ~strategy:s.Strategy.name
+               ~outcome ~latency ~queue_wait:0.0 ?cost ?result_card ?plan
+               ~detail events)
+      in
       let run_attempt k =
         let rng =
           attempt_rng ~seed:config.seed ~strategy:s.Strategy.name ~query:qname
@@ -87,16 +107,49 @@ let run_suite ?ctx ?(cancel = Deadline.none) config strategies (w : Workload.t)
           | None -> Deadline.none
           | Some s -> Deadline.after s
         in
-        Ctx.with_span tel "query"
+        let trace = trace_for k in
+        (* With no qlog the context is passed through untouched — the
+           audit path must leave an unaudited run byte-identical. The
+           recorder attachment itself never perturbs the strategy's RNG
+           (the driver records unconditionally). *)
+        let recorder, tel_attempt =
+          match config.qlog with
+          | None -> (None, tel)
+          | Some _ ->
+            let r = Recorder.create () in
+            (Some r, Ctx.with_trace_id (Ctx.with_recorder tel r) trace)
+        in
+        let events () =
+          match recorder with None -> [] | Some r -> Recorder.events r
+        in
+        Ctx.with_span tel_attempt "query"
           ~attrs:
             [ ("strategy", Span.Str s.Strategy.name);
               ("query", Span.Str qname);
               ("attempt", Span.Int k) ]
         @@ fun span ->
         let o =
-          s.Strategy.run ~ctx:tel ~fault ~deadline ~rng ~budget:config.budget
-            w.Workload.catalog q
+          match
+            s.Strategy.run ~ctx:tel_attempt ~fault ~deadline ~rng
+              ~budget:config.budget w.Workload.catalog q
+          with
+          | o -> o
+          | exception Deadline.Expired ->
+            qlog_append ~trace ~outcome:"timeout" ~detail:"deadline expired"
+              (events ());
+            raise Deadline.Expired
+          | exception Fault.Injected reason ->
+            qlog_append ~trace ~outcome:"error" ~detail:reason (events ());
+            raise (Fault.Injected reason)
         in
+        qlog_append ~trace
+          ~outcome:
+            (if o.Strategy.timed_out then "timeout"
+             else if o.Strategy.degraded > 0 then "degraded"
+             else "ok")
+          ~latency:o.Strategy.wall ~cost:o.Strategy.cost
+          ~result_card:o.Strategy.result_card ~plan:o.Strategy.plan
+          (events ());
         Span.set_attr span "cost" (Span.Float o.Strategy.cost);
         Span.set_attr span "timed_out" (Span.Bool o.Strategy.timed_out);
         o

@@ -34,11 +34,17 @@ type config = {
           the strategy/executor/MCTS; expiry yields a timed-out outcome
           (never a retry). Wall-clock bounds trade away run-to-run
           determinism — leave [None] (the default) when comparing runs. *)
+  qlog : Monsoon_telemetry.Qlog.t option;
+      (** audit log: when set, every cell attempt appends one
+          {!Monsoon_telemetry.Qlog} record (per-attempt recorder, trace id
+          derived from [(seed, strategy, query, attempt)]). [None] (the
+          default) leaves the run's context — and hence its results —
+          byte-identical to an unaudited run. *)
 }
 
 val default_config : config
 (** Budget 5e7, seed 42, all queries, [jobs = 1], no faults, 2 retries,
-    no deadline. *)
+    no deadline, no qlog. *)
 
 val cell_rng :
   seed:int -> strategy:string -> query:string -> Monsoon_util.Rng.t

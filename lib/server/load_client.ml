@@ -1,9 +1,29 @@
 open Monsoon_telemetry
 
-type t = In_process of Server.t | Http of { host : string; port : int }
+type http_state = {
+  host : string;
+  port : int;
+  pool_lock : Mutex.t;
+  idle : Unix.file_descr Queue.t;  (* connections the server kept alive *)
+  mutable connects : int;  (* fresh TCP connects made so far *)
+}
+
+type t = In_process of Server.t | Http of http_state
 
 let in_process s = In_process s
-let http ?(host = "127.0.0.1") ~port () = Http { host; port }
+
+let http ?(host = "127.0.0.1") ~port () =
+  Http
+    { host; port; pool_lock = Mutex.create (); idle = Queue.create ();
+      connects = 0 }
+
+let connections = function
+  | In_process _ -> 0
+  | Http state ->
+    Mutex.lock state.pool_lock;
+    let n = state.connects in
+    Mutex.unlock state.pool_lock;
+    n
 
 type outcome = {
   o_query : string;
@@ -14,7 +34,7 @@ type outcome = {
   o_queue_wait : float;
 }
 
-(* --- raw HTTP/1.1, one connection per request --- *)
+(* --- raw HTTP/1.1 with keep-alive connection reuse --- *)
 
 let find_substring s needle =
   let n = String.length needle and m = String.length s in
@@ -35,20 +55,6 @@ let write_all fd s =
   in
   go 0
 
-let read_to_eof fd =
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 4096 in
-  let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
-    | n ->
-      Buffer.add_subbytes buf chunk 0 n;
-      go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-  in
-  go ();
-  Buffer.contents buf
-
 let header_value headers name =
   String.split_on_char '\n' headers
   |> List.find_map (fun line ->
@@ -62,8 +68,53 @@ let header_value headers name =
                   (String.sub line (i + 1) (String.length line - i - 1)))
            else None)
 
-(* The server answers [Connection: close], so read-to-EOF delimits the
-   response; the Content-Length check then catches short reads. *)
+(* Reads one HTTP response. When the headers carry a Content-Length the
+   body is delimited by it — the path that lets a kept-alive connection
+   hand back exactly one response without waiting for EOF. Without one,
+   fall back to read-to-EOF (close-delimited). Returns the raw response
+   and whether the server agreed to keep the connection alive. *)
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  (* true when [stop] matched, false on EOF first *)
+  let rec read_until stop =
+    if stop (Buffer.contents buf) then true
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> stop (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_until stop
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_until stop
+  in
+  if not (read_until (fun s -> find_substring s "\r\n\r\n" <> None)) then
+    Error "eof before response headers"
+  else begin
+    let i =
+      match find_substring (Buffer.contents buf) "\r\n\r\n" with
+      | Some i -> i
+      | None -> assert false
+    in
+    let headers = String.sub (Buffer.contents buf) 0 i in
+    let keep_alive =
+      match header_value headers "connection" with
+      | Some v -> String.lowercase_ascii v = "keep-alive"
+      | None -> false
+    in
+    match
+      Option.bind (header_value headers "content-length") int_of_string_opt
+    with
+    | Some want ->
+      if read_until (fun s -> String.length s - (i + 4) >= want) then
+        Ok (Buffer.contents buf, keep_alive)
+      else Error "eof before response body"
+    | None ->
+      (* no length to trust the connection with — drain and close *)
+      ignore (read_until (fun _ -> false));
+      Ok (Buffer.contents buf, false)
+  end
+
+(* The Content-Length check catches short (or over-long) reads. *)
 let parse_response raw =
   match find_substring raw "\r\n\r\n" with
   | None -> Error "malformed response: no header terminator"
@@ -87,39 +138,90 @@ let parse_response raw =
         | None -> Error ("malformed status line: " ^ code))
       | _ -> Error "malformed status line"))
 
-let http_request ~host ~port ~meth ~path ~body =
+let take_idle state =
+  Mutex.lock state.pool_lock;
+  let fd = Queue.take_opt state.idle in
+  Mutex.unlock state.pool_lock;
+  fd
+
+let return_idle state fd =
+  Mutex.lock state.pool_lock;
+  Queue.push fd state.idle;
+  Mutex.unlock state.pool_lock
+
+let connect_fresh state =
   match
     try
       Ok
-        (try Unix.inet_addr_of_string host
-         with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0))
-    with Not_found -> Error ("unknown host: " ^ host)
+        (try Unix.inet_addr_of_string state.host
+         with Failure _ ->
+           (Unix.gethostbyname state.host).Unix.h_addr_list.(0))
+    with Not_found -> Error ("unknown host: " ^ state.host)
   with
   | Error _ as e -> e
   | Ok addr -> (
     match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
     | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
     | fd -> (
-      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
       match
-        Fun.protect ~finally (fun () ->
-            Unix.connect fd (Unix.ADDR_INET (addr, port));
-            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
-            write_all fd
-              (Printf.sprintf
-                 "%s %s HTTP/1.1\r\n\
-                  Host: %s:%d\r\n\
-                  Content-Type: application/json\r\n\
-                  Content-Length: %d\r\n\
-                  Connection: close\r\n\
-                  \r\n\
-                  %s"
-                 meth path host port (String.length body) body);
-            read_to_eof fd)
+        Unix.connect fd (Unix.ADDR_INET (addr, state.port));
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0
       with
-      | raw -> parse_response raw
-      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
-      ))
+      | () ->
+        Mutex.lock state.pool_lock;
+        state.connects <- state.connects + 1;
+        Mutex.unlock state.pool_lock;
+        Ok fd
+      | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Unix.error_message err)))
+
+(* One request-response exchange. Connections the server keeps alive go
+   back to the idle pool for the next request; a reused connection that
+   fails (the server may have closed it between requests) is retried once
+   on a fresh one before the failure is reported. *)
+let http_request state ~meth ~path ~body =
+  let exchange fd =
+    match
+      write_all fd
+        (Printf.sprintf
+           "%s %s HTTP/1.1\r\n\
+            Host: %s:%d\r\n\
+            Content-Type: application/json\r\n\
+            Content-Length: %d\r\n\
+            Connection: keep-alive\r\n\
+            \r\n\
+            %s"
+           meth path state.host state.port (String.length body) body);
+      read_response fd
+    with
+    | r -> r
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  in
+  let rec go ~may_retry fd =
+    match exchange fd with
+    | Ok (raw, keep_alive) -> (
+      match parse_response raw with
+      | Ok _ as r ->
+        if keep_alive then return_idle state fd
+        else (try Unix.close fd with Unix.Unix_error _ -> ());
+        r
+      | Error _ as e -> retry ~may_retry fd e)
+    | Error _ as e -> retry ~may_retry fd e
+  and retry ~may_retry fd e =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if may_retry then
+      match connect_fresh state with
+      | Error _ as e -> e
+      | Ok fd -> go ~may_retry:false fd
+    else e
+  in
+  match take_idle state with
+  | Some fd -> go ~may_retry:true fd
+  | None -> (
+    match connect_fresh state with
+    | Error _ as e -> e
+    | Ok fd -> go ~may_retry:false fd)
 
 (* --- the interface --- *)
 
@@ -151,17 +253,17 @@ let query t qname =
         o_cost = r.Server.rs_cost;
         o_latency = r.Server.rs_latency;
         o_queue_wait = r.Server.rs_queue_wait }
-  | Http { host; port } -> (
+  | Http state -> (
     let body = Json.to_string (Json.Obj [ ("query", Json.Str qname) ]) in
-    match http_request ~host ~port ~meth:"POST" ~path:"/query" ~body with
+    match http_request state ~meth:"POST" ~path:"/query" ~body with
     | Error _ as e -> e
     | Ok (code, body) -> parse_outcome qname code body)
 
 let queries t =
   match t with
   | In_process s -> Ok (Server.queries s)
-  | Http { host; port } -> (
-    match http_request ~host ~port ~meth:"GET" ~path:"/queries" ~body:"" with
+  | Http state -> (
+    match http_request state ~meth:"GET" ~path:"/queries" ~body:"" with
     | Error _ as e -> e
     | Ok (200, body) -> (
       match Json.of_string body with
@@ -174,8 +276,8 @@ let queries t =
 let slo_report t =
   match t with
   | In_process s -> Ok (Slo.report (Server.slo s))
-  | Http { host; port } -> (
-    match http_request ~host ~port ~meth:"GET" ~path:"/slo" ~body:"" with
+  | Http state -> (
+    match http_request state ~meth:"GET" ~path:"/slo" ~body:"" with
     | Error _ as e -> e
     | Ok (200, body) -> Ok body
     | Ok (code, _) -> Error (Printf.sprintf "/slo answered %d" code))

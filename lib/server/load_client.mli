@@ -11,8 +11,18 @@ type t
 val in_process : Server.t -> t
 
 val http : ?host:string -> port:int -> unit -> t
-(** Raw stdlib-Unix HTTP/1.1, one connection per request (the server is
-    [Connection: close]). Default host ["127.0.0.1"]. *)
+(** Raw stdlib-Unix HTTP/1.1 with keep-alive connection reuse: requests
+    ask for [Connection: keep-alive]; a connection the server keeps open
+    (responses are Content-Length-delimited) returns to an idle pool for
+    the next request, and a reused connection that fails — the server may
+    close it between requests — is retried once on a fresh one. Servers
+    that answer [Connection: close] degrade to one connection per request.
+    Default host ["127.0.0.1"]. *)
+
+val connections : t -> int
+(** Fresh TCP connections made so far (0 for in-process clients) — the
+    observable that shows keep-alive reuse working: far fewer connects
+    than requests. *)
 
 type outcome = {
   o_query : string;

@@ -15,6 +15,7 @@ type handler =
   rng:Rng.t ->
   deadline:Deadline.t ->
   recorder:Recorder.t ->
+  trace:string ->
   string ->
   (exec_outcome, handler_error) result
 
@@ -26,6 +27,8 @@ type config = {
   explain_ring : int;
   latency_target : float;
   availability_target : float;
+  slow_query : float option;
+  qlog : Qlog.t option;
 }
 
 let default_config =
@@ -35,7 +38,9 @@ let default_config =
     seed = 42;
     explain_ring = 64;
     latency_target = 1.0;
-    availability_target = 0.99 }
+    availability_target = 0.99;
+    slow_query = None;
+    qlog = None }
 
 type t = {
   config : config;
@@ -48,6 +53,8 @@ type t = {
   next_id : int Atomic.t;
   explain_lock : Mutex.t;
   explains : (int * string) Queue.t;  (* oldest first, ≤ explain_ring *)
+  slow_explains : (int * string) Queue.t;
+      (* slow-query captures, retained outside the ring (≤ slow_retain) *)
   stopped : bool Atomic.t;
   live_conns : int Atomic.t;
   mutable listen_fd : Unix.file_descr option;
@@ -77,6 +84,7 @@ let create ?ctx ?(queries = []) config handler =
     next_id = Atomic.make 0;
     explain_lock = Mutex.create ();
     explains = Queue.create ();
+    slow_explains = Queue.create ();
     stopped = Atomic.make false;
     live_conns = Atomic.make 0;
     listen_fd = None;
@@ -91,9 +99,9 @@ let inject_kills t n = Pool.inject_kills t.pool n
 
 (* --- explain ring --- *)
 
-let store_explain t id recorder =
+let store_explain t id ~trace recorder =
   if t.config.explain_ring > 0 && Recorder.events recorder <> [] then begin
-    let rendered = Explain.report recorder in
+    let rendered = Explain.report ~trace recorder in
     Mutex.lock t.explain_lock;
     Queue.push (id, rendered) t.explains;
     if Queue.length t.explains > t.config.explain_ring then
@@ -101,12 +109,30 @@ let store_explain t id recorder =
     Mutex.unlock t.explain_lock
   end
 
+(* Slow requests are the ones worth auditing after the fact, and exactly
+   the ones a busy ring evicts fastest — so breaching the slow-query
+   threshold pins the capture in its own bounded store. *)
+let slow_retain = 256
+
+let store_slow t id ~trace recorder =
+  if Recorder.events recorder <> [] then begin
+    let rendered = Explain.report ~trace recorder in
+    Mutex.lock t.explain_lock;
+    Queue.push (id, rendered) t.slow_explains;
+    if Queue.length t.slow_explains > slow_retain then
+      ignore (Queue.pop t.slow_explains);
+    Mutex.unlock t.explain_lock
+  end
+
 let explain t id =
+  let find q =
+    Queue.fold (fun acc (i, r) -> if i = id then Some r else acc) None q
+  in
   Mutex.lock t.explain_lock;
   let found =
-    Queue.fold
-      (fun acc (i, r) -> if i = id then Some r else acc)
-      None t.explains
+    match find t.slow_explains with
+    | Some _ as r -> r
+    | None -> find t.explains
   in
   Mutex.unlock t.explain_lock;
   found
@@ -116,6 +142,7 @@ let explain t id =
 type response = {
   rs_id : int;
   rs_query : string;
+  rs_trace : string;
   rs_outcome : Slo.outcome;
   rs_code : int;
   rs_cost : float;
@@ -127,11 +154,40 @@ type response = {
 let submit t qname =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let t0 = Timer.now () in
+  (* Deterministic per-request identity from the same (seed, id) pair the
+     request RNG derives from: two runs of a fixed workload mint the same
+     trace ids, so their qlogs diff byte-stably. *)
+  let trace =
+    Printf.sprintf "t-%d-%08x" id (Hashtbl.hash (t.config.seed, id) land 0xffffffff)
+  in
+  (* The recorder exists before admission so even rejected requests reach
+     [finish] with a (possibly empty) trajectory to audit. *)
+  let recorder =
+    if
+      t.config.explain_ring > 0 || t.config.slow_query <> None
+      || t.config.qlog <> None
+    then Recorder.create ()
+    else Recorder.null ()
+  in
   let finish outcome code ~cost ~queue_wait ~detail =
     let latency = Timer.now () -. t0 in
-    Slo.record t.slo_ outcome ~latency ~queue_wait;
+    Slo.record t.slo_ ~klass:qname outcome ~latency ~queue_wait;
+    (match t.config.slow_query with
+    | Some threshold when latency >= threshold -> store_slow t id ~trace recorder
+    | _ -> ());
+    (match t.config.qlog with
+    | None -> ()
+    | Some qlog ->
+      let plan = if code = 200 then detail else "" in
+      let fail_detail = if code = 200 then "" else detail in
+      Qlog.append qlog
+        (Qlog.of_events ~trace ~query:qname ~strategy:"serve"
+           ~outcome:(Slo.outcome_label outcome) ~latency ~queue_wait ~cost
+           ~plan ~detail:fail_detail
+           (Recorder.events recorder)));
     { rs_id = id;
       rs_query = qname;
+      rs_trace = trace;
       rs_outcome = outcome;
       rs_code = code;
       rs_cost = cost;
@@ -157,16 +213,12 @@ let submit t qname =
       ~finally:(fun () -> Admission.release t.adm)
       (fun () ->
         let rng = Rng.create (Hashtbl.hash (t.config.seed, id)) in
-        let recorder =
-          if t.config.explain_ring > 0 then Recorder.create ()
-          else Recorder.null ()
-        in
         let verdict =
           (* The handler runs on a pool worker domain; every exception is a
              request failure, never a server failure. *)
           match
             Pool.run t.pool (fun () ->
-                t.handler ~id ~rng ~deadline ~recorder qname)
+                t.handler ~id ~rng ~deadline ~recorder ~trace qname)
           with
           | Ok o -> `Done o
           | Error e -> `Err e
@@ -175,7 +227,7 @@ let submit t qname =
             `Err (`Failed ("fault injected: " ^ reason))
           | exception e -> `Err (`Failed (Printexc.to_string e))
         in
-        store_explain t id recorder;
+        store_explain t id ~trace recorder;
         match verdict with
         | `Done o when o.x_timed_out ->
           finish Slo.Timed_out 504 ~cost:o.x_cost ~queue_wait ~detail:o.x_plan
@@ -195,6 +247,7 @@ let response_json r =
   Json.Obj
     [ ("id", Json.Num (float_of_int r.rs_id));
       ("query", Json.Str r.rs_query);
+      ("trace", Json.Str r.rs_trace);
       ("status", Json.Str (Slo.outcome_label r.rs_outcome));
       ("code", Json.Num (float_of_int r.rs_code));
       ("cost", Json.Num r.rs_cost);
@@ -214,7 +267,8 @@ let reason_of_code = function
   | 504 -> "Gateway Timeout"
   | _ -> "Unknown"
 
-let http_response ?(extra_headers = []) ~code ~content_type body =
+let http_response ?(extra_headers = []) ?(keep_alive = false) ~code
+    ~content_type body =
   let headers =
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) extra_headers)
@@ -223,10 +277,12 @@ let http_response ?(extra_headers = []) ~code ~content_type body =
     "HTTP/1.1 %d %s\r\n\
      Content-Type: %s\r\n\
      Content-Length: %d\r\n\
-     %sConnection: close\r\n\
+     %sConnection: %s\r\n\
      \r\n\
      %s"
-    code (reason_of_code code) content_type (String.length body) headers body
+    code (reason_of_code code) content_type (String.length body) headers
+    (if keep_alive then "keep-alive" else "close")
+    body
 
 let find_substring s needle =
   let n = String.length needle and m = String.length s in
@@ -237,21 +293,30 @@ let find_substring s needle =
   in
   go 0
 
-let content_length headers =
+let header_value headers name =
   String.split_on_char '\n' headers
   |> List.find_map (fun line ->
          match String.index_opt line ':' with
          | None -> None
          | Some i ->
-           let name =
-             String.lowercase_ascii (String.trim (String.sub line 0 i))
-           in
-           if name = "content-length" then
-             int_of_string_opt
+           let n = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+           if n = name then
+             Some
                (String.trim
                   (String.sub line (i + 1) (String.length line - i - 1)))
            else None)
-  |> Option.value ~default:0
+
+let content_length headers =
+  Option.value ~default:0
+    (Option.bind (header_value headers "content-length") int_of_string_opt)
+
+(* Keep-alive is strictly opt-in: only a client that says
+   [Connection: keep-alive] gets connection reuse; everything else
+   (curl's default, the existing tests) keeps close semantics. *)
+let wants_keep_alive headers =
+  match header_value headers "connection" with
+  | Some v -> String.lowercase_ascii v = "keep-alive"
+  | None -> false
 
 (* Reads request line + headers + (for POST) a Content-Length body.
    Bounded: 8 KiB of headers, 64 KiB of body — a query name plus slack. *)
@@ -290,7 +355,7 @@ let read_request fd =
         | Some q -> String.sub target 0 q
         | None -> target
       in
-      Some (meth, path, body)
+      Some (meth, path, body, wants_keep_alive headers)
     | _ -> None)
 
 let write_all fd s =
@@ -309,7 +374,22 @@ let explain_target path =
   | [ ""; "query"; id; "explain" ] -> int_of_string_opt id
   | _ -> None
 
-let respond t meth path body =
+(* Retry-After from what the server actually observes: with [q] requests
+   already queued and [slots] workers draining them at the mean observed
+   latency, a retry earlier than ceil(mean * (q+1) / slots) seconds just
+   rejoins the same full queue. Clamped to [1, 60]; before any request
+   has finished (mean 0) the floor keeps the old behavior of "1". *)
+let retry_after t =
+  let queued = Admission.queued t.adm in
+  let slots = max 1 t.config.max_concurrent in
+  let mean = Slo.mean_latency t.slo_ in
+  let est = ceil (mean *. float_of_int (queued + 1) /. float_of_int slots) in
+  max 1 (min 60 (int_of_float est))
+
+let respond t ~keep_alive meth path body =
+  let http_response ?extra_headers ~code ~content_type body =
+    http_response ?extra_headers ~keep_alive ~code ~content_type body
+  in
   match (meth, path) with
   | "POST", "/query" -> (
     match Json.of_string body with
@@ -324,7 +404,11 @@ let respond t meth path body =
       | Some qname ->
         let r = submit t qname in
         let extra_headers =
-          if r.rs_code = 429 then [ ("Retry-After", "1") ] else []
+          ("X-Monsoon-Trace", r.rs_trace)
+          ::
+          (if r.rs_code = 429 then
+             [ ("Retry-After", string_of_int (retry_after t)) ]
+           else [])
         in
         http_response ~extra_headers ~code:r.rs_code
           ~content_type:"application/json"
@@ -363,11 +447,18 @@ let handle_conn t conn =
   in
   Fun.protect ~finally (fun () ->
       Unix.setsockopt_float conn Unix.SO_RCVTIMEO 5.0;
-      match read_request conn with
-      | Some (meth, path, body) ->
-        (try write_all conn (respond t meth path body)
-         with Unix.Unix_error _ -> ())
-      | None -> ())
+      (* Loop while the client keeps the connection alive; an idle reused
+         connection times out at SO_RCVTIMEO and closes cleanly. *)
+      let rec serve_one () =
+        match read_request conn with
+        | Some (meth, path, body, keep_alive) ->
+          let keep_alive = keep_alive && not (Atomic.get t.stopped) in
+          (match write_all conn (respond t ~keep_alive meth path body) with
+          | () -> if keep_alive then serve_one ()
+          | exception Unix.Unix_error _ -> ())
+        | None -> ()
+      in
+      serve_one ())
 
 (* One thread per connection: a slow query must not head-of-line-block a
    /metrics scrape, and the admission queue — not the accept backlog — is

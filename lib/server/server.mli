@@ -31,6 +31,13 @@
     - [GET /slo] — the live {!Slo.report};
     - [GET /metrics], [/healthz], [/snapshot.json] — as [Monitor.serve].
 
+    [POST /query] responses carry the request's trace id as
+    [X-Monsoon-Trace]; a 429's [Retry-After] is derived from the observed
+    queue depth and mean service latency. Connections close after one
+    request unless the client asks for [Connection: keep-alive], in which
+    case the socket is reused until the client closes or idles past the
+    read timeout.
+
     {!stop} is drain-then-stop: close the listener, let every in-flight
     request finish (queued requests resolve 503 — shed, not crashed), then
     shut the pool down. Idempotent. *)
@@ -54,15 +61,19 @@ type handler =
   rng:Rng.t ->
   deadline:Deadline.t ->
   recorder:Recorder.t ->
+  trace:string ->
   string ->
   (exec_outcome, handler_error) result
 (** Runs one named query on a pool worker domain. [rng] is the request's
     private deterministic stream; [deadline] the request timeout (check it
     cooperatively); [recorder] captures the decision trajectory when the
-    server retains explains (a null recorder otherwise). Exceptions —
-    including {!Monsoon_util.Deadline.Expired} and
-    {!Monsoon_util.Fault.Injected} — are caught and classified by the
-    server; they fail the request, never the server. *)
+    server retains explains (a null recorder otherwise); [trace] is the
+    request's trace id — thread it into the handler's context
+    ({!Monsoon_telemetry.Ctx.with_trace_id}) so the spans it opens join the
+    request's qlog record and explain capture. Exceptions — including
+    {!Monsoon_util.Deadline.Expired} and {!Monsoon_util.Fault.Injected} —
+    are caught and classified by the server; they fail the request, never
+    the server. *)
 
 type config = {
   max_concurrent : int;  (** pool workers = execution slots *)
@@ -72,11 +83,18 @@ type config = {
   explain_ring : int;  (** recorder captures retained; 0 disables capture *)
   latency_target : float;  (** SLO: p95 latency objective, seconds *)
   availability_target : float;  (** SLO: success-share objective *)
+  slow_query : float option;
+      (** latency threshold, seconds: a request at or over it pins its
+          explain capture outside the ring (last 256 kept); [None] off *)
+  qlog : Monsoon_telemetry.Qlog.t option;
+      (** audit log: every finished request appends one
+          {!Monsoon_telemetry.Qlog} record; [None] off *)
 }
 
 val default_config : config
 (** 4 slots, queue bound 16, 30 s timeout, seed 42, 64 explains retained,
-    p95 target 1.0 s, availability target 0.99. *)
+    p95 target 1.0 s, availability target 0.99, no slow-query retention,
+    no qlog. *)
 
 type t
 
@@ -88,6 +106,9 @@ val create : ?ctx:Ctx.t -> ?queries:string list -> config -> handler -> t
 type response = {
   rs_id : int;
   rs_query : string;
+  rs_trace : string;
+      (** the request's trace id — minted deterministically from
+          [(seed, id)], echoed over HTTP as [X-Monsoon-Trace] *)
   rs_outcome : Slo.outcome;
   rs_code : int;  (** the HTTP status this outcome maps to *)
   rs_cost : float;
@@ -103,7 +124,9 @@ val submit : t -> string -> response
 val response_json : response -> Json.t
 
 val explain : t -> int -> string option
-(** The captured flight-recorder report of a recent request id. *)
+(** The captured flight-recorder report of a recent request id — from the
+    slow-query store when the request breached the threshold, otherwise
+    from the ring. *)
 
 val slo : t -> Slo.t
 

@@ -9,9 +9,24 @@ let outcome_label = function
   | Timed_out -> "timeout"
   | Failed -> "error"
 
+(* Per-class instruments: one labeled latency histogram and one labeled
+   counter per outcome, interned in the same registry the unlabeled
+   aggregates live in — so /metrics carries server_latency{class="iq7"}
+   rows with no extra exporter work. *)
+type class_stats = {
+  k_latency : Metric.Histogram.t;
+  k_requests : Metric.Counter.t;
+  k_ok : Metric.Counter.t;
+  k_degraded : Metric.Counter.t;
+  k_rejected : Metric.Counter.t;
+  k_timeout : Metric.Counter.t;
+  k_error : Metric.Counter.t;
+}
+
 type t = {
   latency_target : float;
   availability_target : float;
+  tel : Ctx.t;
   h_latency : Metric.Histogram.t;
   h_queue_wait : Metric.Histogram.t;
   c_requests : Metric.Counter.t;
@@ -20,6 +35,8 @@ type t = {
   c_rejected : Metric.Counter.t;
   c_timeout : Metric.Counter.t;
   c_error : Metric.Counter.t;
+  class_lock : Mutex.t;
+  by_class : (string, class_stats) Hashtbl.t;
 }
 
 let create ?ctx ?(latency_target = 1.0) ?(availability_target = 0.99) () =
@@ -30,6 +47,7 @@ let create ?ctx ?(latency_target = 1.0) ?(availability_target = 0.99) () =
   let tel = match ctx with Some c -> c | None -> Ctx.null () in
   { latency_target;
     availability_target;
+    tel;
     h_latency = Ctx.histogram tel "server.latency";
     h_queue_wait = Ctx.histogram tel "server.queue_wait";
     c_requests = Ctx.counter tel "server.requests";
@@ -37,7 +55,9 @@ let create ?ctx ?(latency_target = 1.0) ?(availability_target = 0.99) () =
     c_degraded = Ctx.counter tel "server.degraded";
     c_rejected = Ctx.counter tel "server.rejected";
     c_timeout = Ctx.counter tel "server.timeout";
-    c_error = Ctx.counter tel "server.error" }
+    c_error = Ctx.counter tel "server.error";
+    class_lock = Mutex.create ();
+    by_class = Hashtbl.create 16 }
 
 let counter_for t = function
   | Ok_ -> t.c_ok
@@ -46,11 +66,48 @@ let counter_for t = function
   | Timed_out -> t.c_timeout
   | Failed -> t.c_error
 
-let record t outcome ~latency ~queue_wait =
+let class_stats t klass =
+  Mutex.lock t.class_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.class_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.by_class klass with
+      | Some s -> s
+      | None ->
+        let labels = [ ("class", klass) ] in
+        let s =
+          { k_latency = Ctx.histogram t.tel ~labels "server.latency";
+            k_requests = Ctx.counter t.tel ~labels "server.requests";
+            k_ok = Ctx.counter t.tel ~labels "server.ok";
+            k_degraded = Ctx.counter t.tel ~labels "server.degraded";
+            k_rejected = Ctx.counter t.tel ~labels "server.rejected";
+            k_timeout = Ctx.counter t.tel ~labels "server.timeout";
+            k_error = Ctx.counter t.tel ~labels "server.error" }
+        in
+        Hashtbl.replace t.by_class klass s;
+        s)
+
+let class_counter s = function
+  | Ok_ -> s.k_ok
+  | Degraded -> s.k_degraded
+  | Rejected -> s.k_rejected
+  | Timed_out -> s.k_timeout
+  | Failed -> s.k_error
+
+let record t ?klass outcome ~latency ~queue_wait =
   Metric.Counter.inc t.c_requests;
   Metric.Counter.inc (counter_for t outcome);
   Metric.Histogram.observe t.h_latency latency;
-  Metric.Histogram.observe t.h_queue_wait queue_wait
+  Metric.Histogram.observe t.h_queue_wait queue_wait;
+  match klass with
+  | None -> ()
+  | Some klass ->
+    let s = class_stats t klass in
+    Metric.Counter.inc s.k_requests;
+    Metric.Counter.inc (class_counter s outcome);
+    Metric.Histogram.observe s.k_latency latency
+
+let mean_latency t = Metric.Histogram.mean t.h_latency
 
 type counts = {
   total : int;
@@ -129,6 +186,34 @@ let report t =
             (if budget_spent = infinity then "spent inf"
              else Printf.sprintf "spent %.1f%%" budget_spent) ] ]
     in
-    Printf.sprintf "SLO report (%d requests)\n\n%s\n%s\n%s" c.total
-      outcome_table latency_table objective_table
+    let classes =
+      Mutex.lock t.class_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.class_lock)
+        (fun () -> Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.by_class [])
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (* Appended only when classes were recorded, so class-less callers
+       (and their golden tests) render the exact pre-existing report. *)
+    let class_table =
+      if classes = [] then ""
+      else
+        "\n"
+        ^ Snapshot.table ~title:"Per-class outcomes and latency"
+            ~header:
+              [ "Class"; "N"; "OK"; "Degr"; "Rej"; "TO"; "Err"; "p95"; "Max" ]
+            (List.map
+               (fun (klass, s) ->
+                 let v c = string_of_int (int_of_float (Metric.Counter.value c)) in
+                 let maxv =
+                   if Metric.Histogram.count s.k_latency = 0 then secs 0.0
+                   else secs (Metric.Histogram.max_value s.k_latency)
+                 in
+                 [ klass; v s.k_requests; v s.k_ok; v s.k_degraded;
+                   v s.k_rejected; v s.k_timeout; v s.k_error;
+                   secs (Metric.Histogram.quantile s.k_latency 0.95); maxv ])
+               classes)
+    in
+    Printf.sprintf "SLO report (%d requests)\n\n%s\n%s\n%s%s" c.total
+      outcome_table latency_table objective_table class_table
   end

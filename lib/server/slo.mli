@@ -44,7 +44,17 @@ val create :
     that must succeed (ok or degraded). The complement of the availability
     target is the error budget. *)
 
-val record : t -> outcome -> latency:float -> queue_wait:float -> unit
+val record :
+  t -> ?klass:string -> outcome -> latency:float -> queue_wait:float -> unit
+(** [?klass] is the request's query class (its fingerprint, e.g. the suite
+    query name): when given, the request also lands in that class's
+    labeled instruments — [server_latency{class="iq7"}] on /metrics, a
+    per-class row in the report. Class-less recording leaves the report
+    byte-identical to the pre-class format. *)
+
+val mean_latency : t -> float
+(** Mean end-to-end latency over everything recorded so far; 0 before the
+    first request. The admission layer uses it to derive [Retry-After]. *)
 
 type counts = {
   total : int;

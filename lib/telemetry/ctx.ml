@@ -2,17 +2,21 @@ type t = {
   registry : Registry.t;
   tracer : Span.tracer;
   recorder : Recorder.t;
+  trace_id : string option;
 }
 
 let create ?(sink = Span.Null) ?recorder () =
   { registry = Registry.create ();
     tracer = Span.make sink;
     recorder =
-      (match recorder with Some r -> r | None -> Recorder.null ()) }
+      (match recorder with Some r -> r | None -> Recorder.null ());
+    trace_id = None }
 
 let null () = create ()
 let with_recorder t recorder = { t with recorder }
 let recorder t = t.recorder
+let with_trace_id t tid = { t with trace_id = Some tid }
+let trace_id t = t.trace_id
 
 let counter t ?labels name = Registry.counter t.registry ?labels name
 let gauge t ?labels name = Registry.gauge t.registry ?labels name
@@ -20,6 +24,18 @@ let gauge t ?labels name = Registry.gauge t.registry ?labels name
 let histogram t ?base ?labels name =
   Registry.histogram t.registry ?base ?labels name
 
-let with_span t ?attrs name f = Span.with_span t.tracer ?attrs name f
+(* The trace attribute rides on every span the context opens, so one grep
+   (or one Perfetto query) joins a request's spans with its qlog record
+   and explain capture. Prepended only when a trace id is set — contexts
+   without one (the default everywhere) build the attrs list untouched. *)
+let with_span t ?attrs name f =
+  let attrs =
+    match t.trace_id with
+    | None -> attrs
+    | Some tid ->
+      Some (("trace", Span.Str tid) :: Option.value ~default:[] attrs)
+  in
+  Span.with_span t.tracer ?attrs name f
+
 let record t event = Recorder.record t.recorder event
 let flush t = Span.flush (Span.sink t.tracer)

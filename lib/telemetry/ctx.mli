@@ -18,6 +18,9 @@ type t = {
   registry : Registry.t;
   tracer : Span.tracer;
   recorder : Recorder.t;
+  trace_id : string option;
+      (** request identity: when set, every span opened through
+          {!with_span} carries a ["trace"] attribute with this id *)
 }
 
 val create : ?sink:Span.sink -> ?recorder:Recorder.t -> unit -> t
@@ -31,6 +34,14 @@ val with_recorder : t -> Recorder.t -> t
     EXPLAIN-style capture. *)
 
 val recorder : t -> Recorder.t
+
+val with_trace_id : t -> string -> t
+(** Same registry, tracer, and recorder, with the given request trace id:
+    every span subsequently opened through {!with_span} carries a
+    ["trace"] attribute, so Perfetto timelines, JSONL trace lines, and the
+    {!Qlog} record of one request join on one key. *)
+
+val trace_id : t -> string option
 
 val counter : t -> ?labels:(string * string) list -> string -> Metric.Counter.t
 val gauge : t -> ?labels:(string * string) list -> string -> Metric.Gauge.t

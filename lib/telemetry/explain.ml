@@ -150,7 +150,7 @@ let degradation_table r =
       ~header:[ "Step"; "Fault"; "Fallback plan" ]
       rows
 
-let summary r =
+let summary ?trace r =
   let start =
     List.find_map
       (function
@@ -177,6 +177,9 @@ let summary r =
     Buffer.add_string buf
       (Printf.sprintf "EXPLAIN %s (%d relation instances)\n" query n_rels)
   | None -> Buffer.add_string buf "EXPLAIN (no query_start event)\n");
+  (match trace with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "  trace %s\n" t)
+  | None -> ());
   (match finish with
   | Some (steps, cost, timed_out, result_card) ->
     Buffer.add_string buf
@@ -197,11 +200,11 @@ let summary r =
          (List.length qerrs) mean worst));
   Buffer.contents buf
 
-let report ?top r =
+let report ?top ?trace r =
   if Recorder.events r = [] then "(empty recording)\n"
   else
     let parts =
-      [ summary r; timeline_table r; plan_tables r; degradation_table r;
+      [ summary ?trace r; timeline_table r; plan_tables r; degradation_table r;
         misestimate_table ?top r; hardened_table r ]
     in
     String.concat "\n" (List.filter (fun s -> s <> "") parts)

@@ -21,6 +21,8 @@ val misestimate_table : ?top:int -> Recorder.t -> string
     run, ranked by q-error descending. Empty string when no node carries a
     q-error. *)
 
-val report : ?top:int -> Recorder.t -> string
+val report : ?top:int -> ?trace:string -> Recorder.t -> string
 (** The full report: summary header, timeline, plan trees, misestimates,
-    and hardened-statistics summary. Empty recorder: a one-line note. *)
+    and hardened-statistics summary. Empty recorder: a one-line note.
+    [?trace] prints the request's trace id under the header, so a capture
+    joins its {!Qlog} record and Perfetto spans on one key. *)

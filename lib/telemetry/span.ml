@@ -123,6 +123,10 @@ let of_json j =
    interleave with another domain's, whichever tracer owns the channel. *)
 let jsonl_lock = Mutex.create ()
 
+let with_line_lock f =
+  Mutex.lock jsonl_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock jsonl_lock) f
+
 let rec emit sink s =
   match sink with
   | Null -> ()

@@ -77,6 +77,12 @@ val flush : sink -> unit
     tailed during a run; a no-op on every other sink. Safe from any
     domain (takes the process-wide line lock, so it never tears a line). *)
 
+val with_line_lock : (unit -> 'a) -> 'a
+(** Runs [f] under the process-wide JSONL line lock — the same lock the
+    [Jsonl] sink serialises span lines with. Other line-oriented appenders
+    ({!Qlog}) take it so their lines never interleave with a trace line
+    (or each other's) when several domains write at once. *)
+
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result
 

@@ -1,0 +1,340 @@
+open Monsoon_baselines
+open Monsoon_workloads
+open Monsoon_harness
+open Monsoon_telemetry
+open Monsoon_server
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i =
+    i + n <= m && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+let tmp_qlog () = Filename.temp_file "monsoon_qlog" ".jsonl"
+
+let writer ?max_bytes path =
+  match Qlog.create ?max_bytes path with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+(* --- Deriving a record from a recorded trajectory --- *)
+
+let node q =
+  { Recorder.node_expr = "R |><| S";
+    node_mask = 3;
+    node_depth = 0;
+    node_predicted = Some 10.0;
+    node_observed = Some 20.0;
+    node_q_error = q }
+
+let decision step =
+  Recorder.Decision
+    { step;
+      state_key = "k";
+      legal_actions = 4;
+      chosen = "join";
+      selection = "uct(w=1.41)";
+      root_visits = 10;
+      plan_seconds = 0.001;
+      candidates = [] }
+
+let trajectory =
+  [ Recorder.Query_start { query = "iq7"; n_rels = 3; state_key = "k" };
+    decision 0;
+    Recorder.Executed
+      { step = 1;
+        nodes = [ node (Some 3.0); node (Some 8.0); node None ];
+        cost = 40.0;
+        timed_out = false };
+    decision 2;
+    Recorder.Degraded { step = 3; reason = "udf"; fallback = "seq scan" };
+    Recorder.Query_finish
+      { steps = 5; cost = 123.0; timed_out = false; result_card = 7.0 } ]
+
+let test_of_events_derivation () =
+  let r =
+    Qlog.of_events ~trace:"t-0-cafe" ~query:"iq7" ~strategy:"serve"
+      ~outcome:"degraded" ~latency:0.5 ~queue_wait:0.1 trajectory
+  in
+  Alcotest.(check string) "trace" "t-0-cafe" r.Qlog.r_trace;
+  Alcotest.(check int) "steps from Query_finish" 5 r.Qlog.r_steps;
+  Alcotest.(check (float 0.0)) "cost from Query_finish" 123.0 r.Qlog.r_cost;
+  Alcotest.(check (float 0.0)) "result card" 7.0 r.Qlog.r_result_card;
+  Alcotest.(check int) "replans = Decision count" 2 r.Qlog.r_replans;
+  Alcotest.(check int) "executes" 1 r.Qlog.r_executes;
+  Alcotest.(check int) "degraded" 1 r.Qlog.r_degraded;
+  Alcotest.(check (list string)) "fault detail" [ "udf -> seq scan" ]
+    r.Qlog.r_fault_detail;
+  Alcotest.(check (option (float 0.0))) "worst q-error" (Some 8.0)
+    r.Qlog.r_worst_q_error
+
+let test_of_events_empty () =
+  (* The path for outcomes that never reached a recorder (e.g. a
+     rejected request): arguments fill in, derived fields stay zero. *)
+  let r =
+    Qlog.of_events ~trace:"t" ~query:"q" ~strategy:"serve"
+      ~outcome:"rejected" ~latency:0.0 ~queue_wait:0.2 ~cost:9.0
+      ~result_card:2.0 ~detail:"queue full" []
+  in
+  Alcotest.(check (float 0.0)) "cost from argument" 9.0 r.Qlog.r_cost;
+  Alcotest.(check (float 0.0)) "card from argument" 2.0 r.Qlog.r_result_card;
+  Alcotest.(check int) "no steps" 0 r.Qlog.r_steps;
+  Alcotest.(check int) "no replans" 0 r.Qlog.r_replans;
+  Alcotest.(check (option (float 0.0))) "nothing predicted" None
+    r.Qlog.r_worst_q_error;
+  Alcotest.(check string) "detail kept" "queue full" r.Qlog.r_detail
+
+let test_json_roundtrip () =
+  let roundtrip r =
+    match Json.of_string (Json.to_string (Qlog.to_json r)) with
+    | Error e -> Alcotest.fail ("reparse: " ^ e)
+    | Ok j -> (
+      match Qlog.of_json j with
+      | Error e -> Alcotest.fail ("of_json: " ^ e)
+      | Ok r' -> Alcotest.(check bool) "round-trips" true (r = r'))
+  in
+  roundtrip
+    (Qlog.of_events ~trace:"t-0-cafe" ~query:"iq7" ~strategy:"serve"
+       ~outcome:"ok" ~latency:0.25 ~queue_wait:0.0 ~plan:"R |><| S"
+       trajectory);
+  (* worst_q_error None must survive as JSON null *)
+  roundtrip
+    (Qlog.of_events ~trace:"t" ~query:"q" ~strategy:"runner" ~outcome:"error"
+       ~latency:0.0 ~queue_wait:0.0 ~detail:"kaboom" [])
+
+(* --- The bounded writer --- *)
+
+let test_writer_rotation_and_load () =
+  let path = tmp_qlog () in
+  let w = writer ~max_bytes:4096 path in
+  let record i =
+    Qlog.of_events ~trace:(Printf.sprintf "t-%d" i) ~query:"iq7"
+      ~strategy:"serve" ~outcome:"ok" ~latency:0.1 ~queue_wait:0.0
+      ~plan:(String.make 120 'p') trajectory
+  in
+  for i = 0 to 39 do
+    Qlog.append w (record i)
+  done;
+  Qlog.close w;
+  (* close is idempotent and appends after close are dropped *)
+  Qlog.close w;
+  Qlog.append w (record 99);
+  let rotated = path ^ ".1" in
+  Alcotest.(check bool) "rotated file exists" true (Sys.file_exists rotated);
+  let load p =
+    match Qlog.load p with Ok rs -> rs | Error e -> Alcotest.fail e
+  in
+  let live = load path and old_ = load rotated in
+  Alcotest.(check bool) "live file bounded" true (List.length live < 40);
+  Alcotest.(check bool) "rotation kept the previous generation" true
+    (List.length old_ > 0);
+  (* The newest record always lands in the live file — rotation drops
+     the oldest generations, never the tail. *)
+  Alcotest.(check bool) "latest record in live file" true
+    (List.exists (fun r -> r.Qlog.r_trace = "t-39") live);
+  List.iter
+    (fun r -> Alcotest.(check string) "records intact" "iq7" r.Qlog.r_query)
+    (live @ old_);
+  Sys.remove path;
+  Sys.remove rotated
+
+(* --- Aggregation --- *)
+
+let rec_ ?(outcome = "ok") ?(latency = 0.1) ?(cost = 10.0) ?(trace = "t")
+    query =
+  Qlog.of_events ~trace ~query ~strategy:"serve" ~outcome ~latency
+    ~queue_wait:0.0 ~cost []
+
+let test_report_content () =
+  let records =
+    [ rec_ ~trace:"t1" ~cost:10.0 "iq1";
+      rec_ ~trace:"t2" ~cost:30.0 ~latency:0.9 "iq1";
+      rec_ ~trace:"t3" ~outcome:"timeout" ~cost:5.0 "iq7" ]
+  in
+  let report = Qlog.report records in
+  Alcotest.(check bool) "header" true
+    (contains report "Query log: 3 records over 2 classes");
+  Alcotest.(check bool) "has iq1 row" true (contains report "iq1");
+  Alcotest.(check bool) "has iq7 row" true (contains report "iq7");
+  (* The same multiset of records renders identically regardless of
+     append order — parallel producers must not change the report. *)
+  Alcotest.(check string) "append-order independent" report
+    (Qlog.report (List.rev records))
+
+let test_diff_identical_runs () =
+  let run latency =
+    [ rec_ ~trace:"a" ~latency ~cost:10.0 "iq1";
+      rec_ ~trace:"b" ~latency:(latency *. 3.0) ~cost:20.0 "iq7" ]
+  in
+  (* Latency differs wildly between the runs; the deterministic fields
+     are identical, so the diff is clean — and byte-stable. *)
+  let report, regressions = Qlog.diff_report ~old_:(run 0.1) (run 2.5) in
+  Alcotest.(check int) "no regressions" 0 regressions;
+  Alcotest.(check bool) "says zero" true (contains report "0 regressions");
+  let report', _ = Qlog.diff_report ~old_:(run 0.4) (run 1.9) in
+  Alcotest.(check string) "byte-stable" report report'
+
+let test_diff_detects_regression () =
+  let old_ = [ rec_ ~cost:10.0 "iq1"; rec_ ~cost:10.0 "iq7" ] in
+  let new_ = [ rec_ ~cost:30.0 "iq1"; rec_ ~cost:10.0 "iq7" ] in
+  let report, regressions = Qlog.diff_report ~old_ new_ in
+  Alcotest.(check int) "one regression" 1 regressions;
+  Alcotest.(check bool) "marked" true (contains report "REGRESSED");
+  (* A lost class is categorically worse. *)
+  let _, lost = Qlog.diff_report ~old_ [ rec_ ~cost:10.0 "iq1" ] in
+  Alcotest.(check int) "lost class regresses" 1 lost;
+  (* New timeouts regress even at equal cost. *)
+  let _, to_ =
+    Qlog.diff_report ~old_
+      [ rec_ ~cost:10.0 "iq1"; rec_ ~outcome:"timeout" ~cost:10.0 "iq7" ]
+  in
+  Alcotest.(check int) "new timeout regresses" 1 to_
+
+(* --- Trace correlation end to end ---
+
+   One served request must leave three artifacts joined on one key: the
+   qlog record, the retained explain capture, and the emitted spans. *)
+
+let test_trace_correlation () =
+  let buf = Span.memory_buffer () in
+  let profile =
+    { Experiments.quick with
+      Experiments.ctx = Ctx.create ~sink:(Span.Memory buf) () }
+  in
+  match Experiments.service profile ~experiment:"imdb" () with
+  | Error e -> Alcotest.fail e
+  | Ok (handler, names) ->
+    let path = tmp_qlog () in
+    let w = writer path in
+    let config =
+      { Server.default_config with
+        Server.request_timeout = None;
+        explain_ring = 4;
+        qlog = Some w;
+        seed = profile.Experiments.seed }
+    in
+    let t = Server.create ~queries:names config handler in
+    let qname = List.hd names in
+    let r = Server.submit t qname in
+    Server.stop t;
+    Qlog.close w;
+    Alcotest.(check int) "served" 200 r.Server.rs_code;
+    (match Qlog.load path with
+     | Error e -> Alcotest.fail e
+     | Ok [ q ] ->
+       Alcotest.(check string) "qlog joins on trace" r.Server.rs_trace
+         q.Qlog.r_trace;
+       Alcotest.(check string) "query name" qname q.Qlog.r_query;
+       Alcotest.(check string) "strategy" "serve" q.Qlog.r_strategy;
+       Alcotest.(check (float 0.0)) "cost agrees" r.Server.rs_cost
+         q.Qlog.r_cost
+     | Ok l ->
+       Alcotest.fail (Printf.sprintf "expected 1 record, got %d"
+                        (List.length l)));
+    (match Server.explain t r.Server.rs_id with
+     | None -> Alcotest.fail "no explain capture"
+     | Some report ->
+       Alcotest.(check bool) "explain names the trace" true
+         (contains report ("trace " ^ r.Server.rs_trace)));
+    let tagged =
+      List.filter
+        (fun (s : Span.t) ->
+          List.exists
+            (fun (k, v) -> k = "trace" && v = Span.Str r.Server.rs_trace)
+            s.Span.attrs)
+        (Span.buffer_spans buf)
+    in
+    Alcotest.(check bool) "spans carry the trace attr" true
+      (List.length tagged > 0);
+    Sys.remove path
+
+(* --- The Runner as a producer --- *)
+
+let fingerprint (rows : Runner.row list) =
+  List.map
+    (fun (r : Runner.row) ->
+      ( r.Runner.strategy,
+        List.map
+          (fun (c : Runner.cell) ->
+            ( c.Runner.query,
+              c.Runner.error,
+              c.Runner.attempts,
+              Option.map
+                (fun (o : Strategy.outcome) ->
+                  ( o.Strategy.cost, o.Strategy.timed_out,
+                    o.Strategy.stats_cost, o.Strategy.result_card,
+                    o.Strategy.plan ))
+                c.Runner.outcome ))
+          r.Runner.cells ))
+    rows
+
+let test_runner_qlog_differential () =
+  let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
+  let strategies =
+    [ Strategy.defaults;
+      Strategy.monsoon ~iterations:60 ~scale_with_size:false
+        Monsoon_stats.Prior.spike_and_slab ]
+  in
+  let config qlog =
+    { Runner.default_config with
+      Runner.budget = 1e6;
+      seed = 11;
+      queries = Some [ "tq1"; "tq2" ];
+      qlog }
+  in
+  let bare = Runner.run_suite (config None) strategies w in
+  let path = tmp_qlog () in
+  let wtr = writer path in
+  let audited = Runner.run_suite (config (Some wtr)) strategies w in
+  Qlog.close wtr;
+  (* The headline property: auditing must not change the run. *)
+  Alcotest.(check bool) "rows identical with and without qlog" true
+    (fingerprint bare = fingerprint audited);
+  (match Qlog.load path with
+   | Error e -> Alcotest.fail e
+   | Ok records ->
+     Alcotest.(check int) "one record per cell attempt" 4
+       (List.length records);
+     List.iter
+       (fun r ->
+         Alcotest.(check bool)
+           (r.Qlog.r_trace ^ " uses the runner trace scheme") true
+           (String.length r.Qlog.r_trace > 2
+           && String.sub r.Qlog.r_trace 0 2 = "r-");
+         Alcotest.(check string) "outcome ok" "ok" r.Qlog.r_outcome;
+         Alcotest.(check bool) "cost recorded" true (r.Qlog.r_cost > 0.0))
+       records;
+     (* Runner trace ids derive from (seed, strategy, query, attempt):
+        distinct cells, distinct ids. *)
+     let traces =
+       List.sort_uniq compare
+         (List.map (fun r -> r.Qlog.r_trace) records)
+     in
+     Alcotest.(check int) "trace ids distinct" 4 (List.length traces));
+  Sys.remove path
+
+let () =
+  Alcotest.run "qlog"
+    [ ( "records",
+        [ Alcotest.test_case "of_events derivation" `Quick
+            test_of_events_derivation;
+          Alcotest.test_case "of_events on empty trajectory" `Quick
+            test_of_events_empty;
+          Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip ] );
+      ( "writer",
+        [ Alcotest.test_case "rotation and load" `Quick
+            test_writer_rotation_and_load ] );
+      ( "aggregation",
+        [ Alcotest.test_case "report content and order-independence" `Quick
+            test_report_content;
+          Alcotest.test_case "diff ignores latency, byte-stable" `Quick
+            test_diff_identical_runs;
+          Alcotest.test_case "diff detects regressions" `Quick
+            test_diff_detects_regression ] );
+      ( "correlation",
+        [ Alcotest.test_case "qlog, explain, spans join on trace" `Quick
+            test_trace_correlation ] );
+      ( "runner",
+        [ Alcotest.test_case "audited run is byte-identical" `Quick
+            test_runner_qlog_differential ] ) ]

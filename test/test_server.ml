@@ -155,9 +155,50 @@ let test_slo_report_golden () =
   Alcotest.(check string) "empty report" "SLO report: no requests recorded\n"
     (Slo.report (Slo.create ()))
 
+let test_slo_per_class () =
+  let ctx = Ctx.null () in
+  let slo = Slo.create ~ctx () in
+  Slo.record slo ~klass:"iq7" Slo.Ok_ ~latency:0.5 ~queue_wait:0.0;
+  Slo.record slo ~klass:"iq7" Slo.Timed_out ~latency:2.0 ~queue_wait:0.0;
+  Slo.record slo ~klass:"iq1" Slo.Ok_ ~latency:0.1 ~queue_wait:0.0;
+  let report = Slo.report slo in
+  check_contains "report" report "Per-class outcomes and latency";
+  (* Sorted by class: iq1 before iq7. *)
+  let pos needle =
+    let rec go i =
+      if i + String.length needle > String.length report then -1
+      else if String.sub report i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "classes sorted" true (pos "iq1" < pos "iq7");
+  (* The labeled instruments are on the registry, so /metrics exports
+     per-class series. *)
+  let labeled =
+    Metric.Counter.value
+      (Ctx.counter ctx ~labels:[ ("class", "iq7") ] "server.requests")
+  in
+  Alcotest.(check (float 0.0)) "labeled counter" 2.0 labeled;
+  check_contains "exporter" (Exporter.render ctx.Ctx.registry)
+    "monsoon_server_requests_total{class=\"iq7\"} 2";
+  Alcotest.(check (float 0.0)) "mean latency"
+    ((0.5 +. 2.0 +. 0.1) /. 3.0)
+    (Slo.mean_latency slo)
+
+(* Zero-observation edges: a report over no requests and an exporter
+   render over an empty histogram must not divide by zero, and must be
+   byte-stable. *)
+let test_slo_zero_observations () =
+  let slo = Slo.create () in
+  Alcotest.(check string) "no requests" "SLO report: no requests recorded\n"
+    (Slo.report slo);
+  Alcotest.(check (float 0.0)) "mean latency of nothing" 0.0
+    (Slo.mean_latency slo)
+
 (* --- the server core, on a synthetic handler --- *)
 
-let synthetic_handler ~id:_ ~rng:_ ~deadline:_ ~recorder qname =
+let synthetic_handler ~id:_ ~rng:_ ~deadline:_ ~recorder ~trace:_ qname =
   let ok = { Server.x_cost = 1.0; x_timed_out = false; x_degraded = false; x_plan = "p" } in
   match qname with
   | "fast" -> Ok ok
@@ -169,6 +210,13 @@ let synthetic_handler ~id:_ ~rng:_ ~deadline:_ ~recorder qname =
        the stored capture is observable end to end. *)
     Recorder.record recorder
       (Recorder.Degraded { step = 0; reason = "served"; fallback = "p" });
+    Ok ok
+  | "slownote" ->
+    (* Slow AND recorded: the case the slow-query retention store exists
+       for. *)
+    Thread.delay 0.06;
+    Recorder.record recorder
+      (Recorder.Degraded { step = 0; reason = "served slowly"; fallback = "p" });
     Ok ok
   | "degraded" -> Ok { ok with Server.x_degraded = true }
   | "overrun" -> Ok { ok with Server.x_timed_out = true }
@@ -228,6 +276,41 @@ let test_explain_ring () =
   Alcotest.(check bool) "event-free request stores nothing" true
     (Server.explain t r4.Server.rs_id = None);
   Server.stop t
+
+let test_slow_query_retention () =
+  let config =
+    { Server.default_config with
+      Server.request_timeout = None;
+      explain_ring = 1;
+      slow_query = Some 0.05 }
+  in
+  let t = make_server ~config () in
+  let slow = Server.submit t "slownote" in
+  Alcotest.(check bool) "trace id minted" true
+    (String.length slow.Server.rs_trace > 0);
+  (* Churn the one-slot ring well past the slow request. *)
+  let r2 = Server.submit t "note" in
+  let r3 = Server.submit t "note" in
+  Alcotest.(check bool) "ring evicted the older capture" true
+    (Server.explain t r2.Server.rs_id = None);
+  Alcotest.(check bool) "latest still in ring" true
+    (Server.explain t r3.Server.rs_id <> None);
+  (match Server.explain t slow.Server.rs_id with
+  | Some report ->
+    check_contains "slow capture" report "served slowly";
+    (* The capture carries the same trace id the response reported. *)
+    check_contains "slow capture trace" report
+      ("trace " ^ slow.Server.rs_trace)
+  | None -> Alcotest.fail "slow request should be retained outside the ring");
+  (* Fast requests do not hit the slow store: evicted ones stay evicted. *)
+  Server.stop t;
+  (* Determinism: the trace id derives from (seed, id), so an identical
+     server mints the identical id for request 0. *)
+  let t2 = make_server ~config () in
+  let slow2 = Server.submit t2 "slownote" in
+  Server.stop t2;
+  Alcotest.(check string) "trace ids deterministic" slow.Server.rs_trace
+    slow2.Server.rs_trace
 
 let test_worker_kills () =
   let config =
@@ -456,6 +539,43 @@ let test_load_client_http () =
     | Error _ -> ()
     | Ok _ -> Alcotest.fail "query after stop should be a transport error"
 
+let test_load_client_keep_alive () =
+  let t = make_server () in
+  match Server.listen t ~port:0 with
+  | Error e -> Alcotest.fail e
+  | Ok port ->
+    let client = Load_client.http ~port () in
+    for _ = 1 to 10 do
+      match Load_client.query client "fast" with
+      | Ok o -> Alcotest.(check int) "served" 200 o.Load_client.o_code
+      | Error e -> Alcotest.fail e
+    done;
+    (* Keep-alive reuse: ten requests over one TCP connection. *)
+    Alcotest.(check int) "one connection for ten requests" 1
+      (Load_client.connections client);
+    Server.stop t;
+    (* The pooled connection is dead after stop; the client reconnects,
+       fails, and reports a transport error instead of hanging. *)
+    (match Load_client.query client "fast" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "query after stop should be a transport error")
+
+let test_http_trace_header_and_keep_alive_optin () =
+  let config = { Server.default_config with Server.request_timeout = None } in
+  let t = make_server ~config () in
+  match Server.listen t ~port:0 with
+  | Error e -> Alcotest.fail e
+  | Ok port ->
+    (* Default clients (no Connection header) keep close semantics: the
+       read-to-EOF in [http_request] terminating at all proves the server
+       closed the connection. *)
+    let resp = http_post port "/query" {|{"query": "fast"}|} in
+    let body = assert_complete "query" resp in
+    check_contains "close by default" resp "Connection: close";
+    check_contains "trace header" resp "X-Monsoon-Trace: t-0-";
+    check_contains "trace in body" body "\"trace\":\"t-0-";
+    Server.stop t
+
 let lg_config = { Monsoon_harness.Loadgen.arrival = Monsoon_harness.Loadgen.Closed 3;
                   stop = Monsoon_harness.Loadgen.Requests 30;
                   seed = 7 }
@@ -633,20 +753,30 @@ let () =
             test_admission_deadline ] );
       ( "slo",
         [ Alcotest.test_case "counts and registry" `Quick test_slo_counts;
-          Alcotest.test_case "golden report" `Quick test_slo_report_golden ] );
+          Alcotest.test_case "golden report" `Quick test_slo_report_golden;
+          Alcotest.test_case "per-class rows and labels" `Quick
+            test_slo_per_class;
+          Alcotest.test_case "zero observations" `Quick
+            test_slo_zero_observations ] );
       ( "server",
         [ Alcotest.test_case "submit outcome mapping" `Quick
             test_submit_outcomes;
           Alcotest.test_case "explain ring" `Quick test_explain_ring;
+          Alcotest.test_case "slow-query retention" `Quick
+            test_slow_query_retention;
           Alcotest.test_case "worker kills" `Quick test_worker_kills ] );
       ( "http",
         [ Alcotest.test_case "concurrent hammer" `Quick test_http_hammer;
           Alcotest.test_case "overload and endpoints" `Quick
-            test_http_overload_and_endpoints ] );
+            test_http_overload_and_endpoints;
+          Alcotest.test_case "trace header, close by default" `Quick
+            test_http_trace_header_and_keep_alive_optin ] );
       ( "load",
         [ Alcotest.test_case "client in process" `Quick
             test_load_client_in_process;
           Alcotest.test_case "client over http" `Quick test_load_client_http;
+          Alcotest.test_case "client keep-alive reuse" `Quick
+            test_load_client_keep_alive;
           Alcotest.test_case "schedule determinism" `Quick
             test_loadgen_schedule;
           Alcotest.test_case "closed loop determinism" `Quick

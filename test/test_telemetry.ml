@@ -230,6 +230,27 @@ let test_snapshot_reports () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e
 
+let test_exporter_empty_histogram () =
+  (* A histogram with zero observations must render without dividing by
+     its count — and byte-stably, since /metrics is scraped repeatedly
+     on idle servers. *)
+  let tel = Ctx.create ~sink:Span.Null () in
+  ignore (Ctx.histogram tel "empty.sizes");
+  let out = Exporter.render tel.Ctx.registry in
+  Alcotest.(check string) "empty histogram golden"
+    "# HELP monsoon_empty_sizes Monsoon metric empty_sizes\n\
+     # TYPE monsoon_empty_sizes histogram\n\
+     monsoon_empty_sizes_bucket{le=\"+Inf\"} 0\n\
+     monsoon_empty_sizes_sum 0\n\
+     monsoon_empty_sizes_count 0\n\
+     # TYPE monsoon_empty_sizes_quantile gauge\n\
+     monsoon_empty_sizes_quantile{quantile=\"0.5\"} 0\n\
+     monsoon_empty_sizes_quantile{quantile=\"0.95\"} 0\n\
+     monsoon_empty_sizes_quantile{quantile=\"0.99\"} 0\n"
+    out;
+  Alcotest.(check string) "stable across renders" out
+    (Exporter.render tel.Ctx.registry)
+
 let test_breakdown_groups_spans () =
   let buf = Span.memory_buffer () in
   let tr = Span.make (Span.Memory buf) in
@@ -390,6 +411,8 @@ let () =
             test_jsonl_flush_mid_run ] );
       ( "snapshot",
         [ Alcotest.test_case "metrics reports" `Quick test_snapshot_reports;
+          Alcotest.test_case "empty histogram export" `Quick
+            test_exporter_empty_histogram;
           Alcotest.test_case "breakdown groups spans" `Quick
             test_breakdown_groups_spans ] );
       ( "domain-safety",
