@@ -73,6 +73,64 @@ let mcts_cfg =
   { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 77)) with
     Monsoon_mcts.Mcts.iterations = 100 }
 
+(* Fixtures for the exec/* kernels: the vectorized columnar {!Executor}
+   against the frozen row-at-a-time {!Row_engine} on identical scan /
+   hash-join / Σ work. Synthetic int-keyed tables, big enough that
+   per-row interpretation overhead dominates the row engine's time
+   (equivalence itself is proven in test/test_differential.ml). *)
+
+module Sto = Monsoon_storage
+
+let exec_cat, exec_scan_q, exec_join_q =
+  let cat = Sto.Catalog.create () in
+  let schema =
+    Sto.Schema.make
+      [ { Sto.Schema.name = "k"; ty = Sto.Value.TInt };
+        { Sto.Schema.name = "v"; ty = Sto.Value.TInt } ]
+  in
+  let mk name n kmul vmul =
+    Sto.Table.of_row_array ~name schema
+      (Array.init n (fun i ->
+           [| Sto.Value.Int (i * kmul mod 12_000);
+              Sto.Value.Int (i * vmul mod 64) |]))
+  in
+  (* Probe-dominated selective join: E2's 500 keys are the multiples of 3
+     below 1500, so ~4% of E1's 40k probe rows match one build row each —
+     the kernel measures the build + probe machinery, not row emission. *)
+  Sto.Catalog.add cat (mk "E1" 40_000 13 7);
+  Sto.Catalog.add cat (mk "E2" 500 3 5);
+  List.iter Sto.Table.prime_columns (Sto.Catalog.tables cat);
+  let scan_q =
+    let b = Query.Builder.create ~name:"exec-scan" in
+    let e1 = Query.Builder.rel b ~table:"E1" ~alias:"E1" in
+    let tv = Query.Builder.term b (Udf.identity "v") [ (e1, "v") ] in
+    Query.Builder.select_pred b tv (Sto.Value.Int 3);
+    Query.Builder.build b
+  in
+  let join_q =
+    let b = Query.Builder.create ~name:"exec-join" in
+    let e1 = Query.Builder.rel b ~table:"E1" ~alias:"E1" in
+    let e2 = Query.Builder.rel b ~table:"E2" ~alias:"E2" in
+    let t1 = Query.Builder.term b (Udf.identity "k") [ (e1, "k") ] in
+    let t2 = Query.Builder.term b (Udf.identity "k") [ (e2, "k") ] in
+    Query.Builder.join_pred b t1 t2;
+    Query.Builder.build b
+  in
+  (cat, scan_q, join_q)
+
+let exec_columnar q e () =
+  let exec =
+    Monsoon_exec.Executor.create exec_cat q (Monsoon_exec.Executor.budget 1e7)
+  in
+  ignore (Monsoon_exec.Executor.execute exec e)
+
+let exec_row q e () =
+  let exec =
+    Monsoon_exec.Row_engine.create exec_cat q
+      (Monsoon_exec.Row_engine.budget 1e7)
+  in
+  ignore (Monsoon_exec.Row_engine.execute exec e)
+
 (* Tiny Runner rows for the aggregation kernels (tables 4 and 5). *)
 let synthetic_rows =
   let outcome cost =
@@ -139,13 +197,31 @@ let tests =
              ignore
                (Monsoon_mcts.Mcts.plan mcts_cfg (Simulator.problem sec23_sim)
                   (Mdp.init_state sec23_ctx))));
+      (* Columnar engine vs the frozen row engine, same query + plan. Each
+         iteration builds a fresh executor, so hash tables and chunk
+         buffers are paid inside the measurement for both sides. *)
+      Test.make ~name:"exec/scan-filter-columnar"
+        (Staged.stage (exec_columnar exec_scan_q (Expr.base 0)));
+      Test.make ~name:"exec/scan-filter-row"
+        (Staged.stage (exec_row exec_scan_q (Expr.base 0)));
+      Test.make ~name:"exec/hash-join-columnar"
+        (Staged.stage
+           (exec_columnar exec_join_q (Expr.join (Expr.base 0) (Expr.base 1))));
+      Test.make ~name:"exec/hash-join-row"
+        (Staged.stage
+           (exec_row exec_join_q (Expr.join (Expr.base 0) (Expr.base 1))));
+      Test.make ~name:"exec/sigma-columnar"
+        (Staged.stage (exec_columnar exec_scan_q (Expr.stats (Expr.base 0))));
+      Test.make ~name:"exec/sigma-row"
+        (Staged.stage (exec_row exec_scan_q (Expr.stats (Expr.base 0))));
       (* Telemetry overhead: the same executor kernel as table6, with spans
          actually retained — against the Null-sink default above. *)
       Test.make ~name:"table6/ott-expert-plan-execution-traced"
         (Staged.stage (fun () ->
              let tel = Ctx.create ~sink:(Span.Memory (Span.memory_buffer ())) () in
              let exec =
-               Monsoon_exec.Executor.create ~ctx:tel
+               Monsoon_exec.Executor.create
+                 ~env:(Ctx.to_env tel)
                  small_ott.Workload.catalog (snd ott_pair)
                  (Monsoon_exec.Executor.budget 1e7)
              in
@@ -228,7 +304,10 @@ let tests =
             in
             fun () ->
               for _ = 1 to 100 do
-                (match Monsoon_server.Admission.admit adm with
+                (match
+                   Monsoon_server.Admission.admit
+                     ~deadline:Monsoon_util.Deadline.none adm
+                 with
                 | Monsoon_server.Admission.Admitted _ -> ()
                 | _ -> assert false);
                 Monsoon_server.Admission.release adm
@@ -323,7 +402,9 @@ let measure_sampler_overhead () =
       queries = Some [ "tq1"; "tq2"; "tq12" ];
       jobs = 1 }
   in
-  let run tel = ignore (Runner.run_suite ~ctx:tel config strategies w) in
+  let run tel =
+    ignore (Runner.run_suite ~env:(Ctx.to_env tel) config strategies w)
+  in
   run (Ctx.null ());
   (* warm caches before timing either leg *)
   (* Calibrate repetitions so each timed leg lasts ~1 s: the suite alone

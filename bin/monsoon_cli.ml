@@ -627,7 +627,9 @@ let make_server ~quick ~seed ~experiment ~spec ~config_of =
   | Ok (handler, names) ->
     let config = config_of ~seed:profile.Experiments.seed in
     let server =
-      Monsoon_server.Server.create ~ctx:tel ~queries:names config handler
+      Monsoon_server.Server.create
+        ~env:(Monsoon_telemetry.Ctx.to_env tel)
+        ~queries:names config handler
     in
     if spec.Monsoon_util.Fault.worker_kills > 0 then
       Monsoon_server.Server.inject_kills server

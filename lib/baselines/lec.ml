@@ -53,10 +53,10 @@ let strategy prior =
   { Strategy.name = "LEC";
     applicable = (fun _ -> true);
     run =
-      (fun ?ctx ?fault ?deadline ~rng ~budget catalog q ->
+      (fun ?env ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let plan, plan_time =
           Timer.time (fun () -> choose_plan ~rng ~prior catalog q)
         in
-        Strategy.execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time
+        Strategy.execute_plan ?env ~t0 ~plan_time
           ~stats_cost:0.0 ~budget catalog q plan) }

@@ -63,7 +63,8 @@ let left_deep_expr order =
   | first :: rest ->
     List.fold_left (fun acc i -> Expr.join acc (Expr.base i)) (Expr.base first) rest
 
-let run ?fault ?(deadline = Deadline.none) config ~budget catalog q =
+let run ?(env = Env.default) config ~budget catalog q =
+  let deadline = Env.deadline env in
   let n = Query.n_rels q in
   let root = fresh_node () in
   let total_cost = ref 0.0 in
@@ -101,9 +102,7 @@ let run ?fault ?(deadline = Deadline.none) config ~budget catalog q =
     (* Fresh executor every episode: a batch engine restarts from scratch,
        discarding all partial work. *)
     let this_slice = Float.min !slice (budget -. !total_cost) in
-    let exec =
-      Executor.create ?fault ~deadline catalog q (Executor.budget this_slice)
-    in
+    let exec = Executor.create ~env catalog q (Executor.budget this_slice) in
     let reward =
       match Executor.execute exec plan with
       | exception (Executor.Timeout | Deadline.Expired) ->

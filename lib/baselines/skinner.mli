@@ -28,10 +28,9 @@ type outcome = {
 }
 
 val run :
-  ?fault:Monsoon_util.Fault.t ->
-  ?deadline:Monsoon_util.Deadline.t ->
+  ?env:Monsoon_util.Env.t ->
   config -> budget:float -> Catalog.t -> Query.t -> outcome
-(** [?fault] arms the per-episode executor's checkpoints; an injected
-    fault escapes (the harness retries). [?deadline] is checked at every
+(** [env.fault] arms the per-episode executor's checkpoints; an injected
+    fault escapes (the harness retries). [env.deadline] is checked at every
     episode boundary and inside the executor; expiry yields a timed-out
-    outcome. Both default off. *)
+    outcome. Defaults off ({!Monsoon_util.Env.default}). *)

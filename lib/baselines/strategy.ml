@@ -18,10 +18,7 @@ type t = {
   name : string;
   applicable : Query.t -> bool;
   run :
-    ?ctx:Monsoon_telemetry.Ctx.t ->
-    ?fault:Fault.t ->
-    ?deadline:Deadline.t ->
-    rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
+    ?env:Env.t -> rng:Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
 }
 
 let always_applicable _ = true
@@ -30,10 +27,10 @@ let always_applicable _ = true
    budget. An expired deadline is a timeout; an injected fault propagates
    (plan-once strategies have no alternative plan — the harness retries the
    whole cell). *)
-let execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time ~stats_cost ~budget
+let execute_plan ?env ~t0 ~plan_time ~stats_cost ~budget
     catalog q plan =
   let bud = Executor.budget (budget -. stats_cost) in
-  let exec = Executor.create ?ctx ?fault ?deadline catalog q bud in
+  let exec = Executor.create ?env catalog q bud in
   let timed_out_outcome () =
     { cost = budget;
       timed_out = true;
@@ -67,13 +64,13 @@ let classical name ~applicable source =
   { name;
     applicable;
     run =
-      (fun ?ctx ?fault ?deadline ~rng ~budget catalog q ->
+      (fun ?env ~rng ~budget catalog q ->
         let t0 = Timer.now () in
         let (src : Stats_source.t), src_time =
           Timer.time (fun () -> source rng catalog q)
         in
         let plan, dp_time = Timer.time (fun () -> Planner.best_plan q src.Stats_source.env) in
-        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time:(src_time +. dp_time)
+        execute_plan ?env ~t0 ~plan_time:(src_time +. dp_time)
           ~stats_cost:src.Stats_source.acquisition_cost ~budget catalog q plan) }
 
 let postgres =
@@ -129,21 +126,22 @@ let greedy =
   { name = "Greedy";
     applicable = always_applicable;
     run =
-      (fun ?ctx ?fault ?deadline ~rng:_ ~budget catalog q ->
+      (fun ?env ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
         let plan, plan_time = Timer.time (fun () -> greedy_plan catalog q) in
-        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time ~stats_cost:0.0
+        execute_plan ?env ~t0 ~plan_time ~stats_cost:0.0
           ~budget catalog q plan) }
 
 let skinner =
   { name = "SkinnerDB";
     applicable = always_applicable;
     run =
-      (fun ?ctx:_ ?fault ?deadline ~rng ~budget catalog q ->
+      (fun ?(env = Env.default) ~rng ~budget catalog q ->
         let t0 = Timer.now () in
+        (* Skinner ignores the telemetry slot, as before. *)
+        let env = Env.with_ctx env Env.Null_ctx in
         let out =
-          Skinner.run ?fault ?deadline (Skinner.default_config ~rng) ~budget
-            catalog q
+          Skinner.run ~env (Skinner.default_config ~rng) ~budget catalog q
         in
         { cost = out.Skinner.cost;
           timed_out = out.Skinner.timed_out;
@@ -159,8 +157,7 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
   { name = "Monsoon";
     applicable = always_applicable;
     run =
-      (fun ?ctx ?(fault = Fault.disabled) ?(deadline = Deadline.none) ~rng
-           ~budget catalog q ->
+      (fun ?env ~rng ~budget catalog q ->
         (* MCTS effort scales with the size of the join-order problem: the
            action space roughly squares with the instance count. *)
         let iterations =
@@ -181,11 +178,9 @@ let monsoon ?(iterations = 2000) ?(scale_with_size = true)
             mcts;
             mcts_workers;
             budget;
-            max_steps = 200;
-            fault;
-            deadline }
+            max_steps = 200 }
         in
-        let out = Monsoon_core.Driver.run ?ctx config catalog q in
+        let out = Monsoon_core.Driver.run ?env config catalog q in
         { cost = out.Monsoon_core.Driver.cost;
           timed_out = out.Monsoon_core.Driver.timed_out;
           wall = out.Monsoon_core.Driver.wall;
@@ -199,9 +194,9 @@ let fixed_plan ~name plan_of =
   { name;
     applicable = always_applicable;
     run =
-      (fun ?ctx ?fault ?deadline ~rng:_ ~budget catalog q ->
+      (fun ?env ~rng:_ ~budget catalog q ->
         let t0 = Timer.now () in
-        execute_plan ?ctx ?fault ?deadline ~t0 ~plan_time:0.0 ~stats_cost:0.0
+        execute_plan ?env ~t0 ~plan_time:0.0 ~stats_cost:0.0
           ~budget catalog q (plan_of q)) }
 
 let standard_seven prior =

@@ -25,18 +25,16 @@ type t = {
       (** the paper drops some options on some benchmarks (e.g. On-Demand
           with multi-instance UDFs) *)
   run :
-    ?ctx:Monsoon_telemetry.Ctx.t ->
-    ?fault:Monsoon_util.Fault.t ->
-    ?deadline:Monsoon_util.Deadline.t ->
+    ?env:Monsoon_util.Env.t ->
     rng:Monsoon_util.Rng.t -> budget:float -> Catalog.t -> Query.t -> outcome;
-      (** [?ctx] threads the observability context (metrics, spans,
-          recorder) into the executor — and, for Monsoon, the driver and
-          MCTS; omitting it keeps the strategy silent. [?fault] arms the
-          executor's fault checkpoints; Monsoon degrades to a fallback
-          plan on injection, every other strategy lets
-          [Monsoon_util.Fault.Injected] escape for the harness to retry.
-          [?deadline] cooperatively bounds the run; expiry reports a
-          timed-out outcome. Both default off. *)
+      (** The environment threads the observability context (metrics,
+          spans, recorder) into the executor — and, for Monsoon, the driver
+          and MCTS; {!Monsoon_util.Env.default} keeps the strategy silent.
+          [env.fault] arms the executor's fault checkpoints; Monsoon
+          degrades to a fallback plan on injection, every other strategy
+          lets [Monsoon_util.Fault.Injected] escape for the harness to
+          retry. [env.deadline] cooperatively bounds the run; expiry
+          reports a timed-out outcome. *)
 }
 
 val postgres : t
@@ -67,9 +65,7 @@ val fixed_plan : name:string -> (Query.t -> Expr.t) -> t
     plans). *)
 
 val execute_plan :
-  ?ctx:Monsoon_telemetry.Ctx.t ->
-  ?fault:Monsoon_util.Fault.t ->
-  ?deadline:Monsoon_util.Deadline.t ->
+  ?env:Monsoon_util.Env.t ->
   t0:float ->
   plan_time:float ->
   stats_cost:float ->

@@ -12,8 +12,6 @@ type config = {
   mcts_workers : int;
   budget : float;
   max_steps : int;
-  fault : Fault.t;
-  deadline : Deadline.t;
 }
 
 let default_config ~rng =
@@ -23,9 +21,7 @@ let default_config ~rng =
     mcts = Monsoon_mcts.Mcts.default_config ~rng;
     mcts_workers = 1;
     budget = 5e7;
-    max_steps = 200;
-    fault = Fault.disabled;
-    deadline = Deadline.none }
+    max_steps = 200 }
 
 type outcome = {
   cost : float;
@@ -108,8 +104,10 @@ let exec_nodes query stats ~predictions ~obs_nodes expr =
   in
   List.rev (go 0 expr [])
 
-let run ?ctx config catalog query =
-  let tel = match ctx with Some t -> t | None -> Ctx.null () in
+let run ?(env = Env.default) config catalog query =
+  let tel = Ctx.of_env env in
+  let env = Ctx.to_env ~env tel in
+  let deadline = Env.deadline env in
   let recorder = Ctx.recorder tel in
   (* The Table-8 component breakdown comes from per-run accumulators; the
      shared registry counters are incremented in lockstep for dashboards
@@ -132,15 +130,12 @@ let run ?ctx config catalog query =
   @@ fun run_span ->
   let t0 = Timer.now () in
   let ctx = Mdp.make_ctx catalog query in
-  let exec =
-    Executor.create ~ctx:tel ~fault:config.fault ~deadline:config.deadline
-      catalog query (Executor.budget config.budget)
-  in
+  let exec = Executor.create ~env catalog query (Executor.budget config.budget) in
   (* The cell deadline also bounds the planner, unless the caller already
      set a tighter one on the MCTS config itself. *)
   let mcts_cfg =
     if Deadline.is_none config.mcts.Monsoon_mcts.Mcts.deadline then
-      { config.mcts with Monsoon_mcts.Mcts.deadline = config.deadline }
+      { config.mcts with Monsoon_mcts.Mcts.deadline }
     else config.mcts
   in
   let total_cost = ref 0.0 in
@@ -230,7 +225,7 @@ let run ?ctx config catalog query =
              { step = steps; message = "step limit reached before completion" });
         finish ~timed_out:true state
       end
-      else if Deadline.expired config.deadline then begin
+      else if Deadline.expired deadline then begin
         (* The planner returns early (and the executor raises) under an
            expired token; this check keeps plan-edit-only step chains from
            spinning through the remaining step budget. *)
@@ -241,7 +236,7 @@ let run ?ctx config catalog query =
       else begin
         let planned, mcts_dt =
           Timer.time (fun () ->
-              Monsoon_mcts.Mcts.plan ~ctx:tel ~workers:config.mcts_workers
+              Monsoon_mcts.Mcts.plan ~env ~workers:config.mcts_workers
                 ~problem_of:(fun rng -> Simulator.problem (make_sim rng))
                 mcts_cfg problem state)
         in

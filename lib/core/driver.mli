@@ -29,21 +29,11 @@ type config = {
           choice. 1 = sequential planning (the default). *)
   budget : float;  (** tuple budget standing in for the paper's 20-min timeout *)
   max_steps : int;  (** safety valve on the number of MDP actions *)
-  fault : Monsoon_util.Fault.t;
-      (** fault plan threaded into the executor; an EXECUTE step killed by
-          an injected fault degrades to the classical left-deep plan (a
-          [Degraded] recorder event + [driver.degraded]) instead of
-          crashing the run. Default {!Monsoon_util.Fault.disabled}. *)
-  deadline : Monsoon_util.Deadline.t;
-      (** cooperative wall-clock bound on the whole run: checked between
-          MDP steps, per executor plan node, and between MCTS iterations
-          (unless [mcts.deadline] is already set); expiry yields a normal
-          timed-out outcome. Default {!Monsoon_util.Deadline.none}. *)
 }
 
 val default_config : rng:Monsoon_util.Rng.t -> config
 (** Spike-and-slab prior, default MCTS, 1 MCTS worker, budget 5e7,
-    200 steps, no faults, no deadline. *)
+    200 steps. *)
 
 type outcome = {
   cost : float;  (** intermediate objects charged (the paper's cost) *)
@@ -61,9 +51,18 @@ type outcome = {
 }
 
 val run :
-  ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?env:Monsoon_util.Env.t ->
   config -> Catalog.t -> Query.t -> outcome
-(** With [?ctx], the run emits a [driver.run] root span (with
+(** The environment carries the telemetry context, the fault plan threaded
+    into the executor (an EXECUTE step killed by an injected fault degrades
+    to the classical left-deep plan — a [Degraded] recorder event +
+    [driver.degraded] — instead of crashing the run), and the cooperative
+    wall-clock deadline for the whole run (checked between MDP steps, per
+    executor plan node, and between MCTS iterations unless
+    [mcts.deadline] is already set; expiry yields a normal timed-out
+    outcome).
+
+    With a packed context, the run emits a [driver.run] root span (with
     [query] / [timed_out] / [cost] / [executes] attributes), a
     [driver.execute] span per EXECUTE step, and bumps [driver.replans] /
     [driver.executes] / [driver.mcts_seconds] / [driver.steps] counters

@@ -1,0 +1,69 @@
+(** Batch views for the vectorized executor.
+
+    A chunk pairs a materialized relation's rows with gather-once typed
+    {!Monsoon_storage.Column} views and selection-vector machinery. The
+    executor's vectorized operators (filtered scan, hash-join build/probe,
+    cross product, Σ pass) work on chunks; each column of a relation is
+    materialized at most once per executor, and unfiltered base tables
+    borrow the columns cached on the {!Monsoon_storage.Table} itself. *)
+
+open Monsoon_storage
+open Monsoon_relalg
+
+type t = {
+  rows : Table.row array;
+  tys : Value.ty array;
+  cols : Column.t option array;
+  table : Table.t option;
+}
+
+val of_intermediate : ?table:Table.t -> Query.t -> Catalog.t -> Intermediate.t -> t
+(** Pass [?table] only when the intermediate's rows are exactly the
+    table's backing rows (an unfiltered base scan): the chunk then shares
+    the table's cached columns instead of gathering. *)
+
+val length : t -> int
+
+val column : t -> int -> Column.t
+(** Column at an absolute slot, gathered on first access. *)
+
+(** {2 Vectorized predicates}
+
+    Index predicates replicating [Value.equal] semantics exactly (NaN
+    equals NaN, [0.] equals [-0.], cross-constructor comparisons false). *)
+
+val eq_const : Column.t -> Value.t -> int -> bool
+val eq_cols : Column.t -> Column.t -> int -> int -> bool
+
+val key_hash : Column.t -> int -> int64
+(** Bucketing hash for join keys: values equal under [Stdlib.compare]
+    hash equally (floats normalized), so one hash index serves both build
+    and probe sides. Not [Value.hash] — Σ passes use
+    {!Monsoon_storage.Column.value_hash} for that. *)
+
+val key_hash_pair : Column.t -> Column.t -> (int -> int) * (int -> int)
+(** Cheapest consistent bucketing hashes for one join key's (build, probe)
+    column pair: equal values bucket equally across the two sides. When
+    both sides share a typed representation the hash is allocation-free
+    native-int mixing; otherwise it falls back to {!key_hash}. Safe to
+    vary per pair because only bucket assignment depends on it — the
+    emitted-row order comes from chain insertion order. *)
+
+(** {2 Selection vectors} *)
+
+type sel = { mutable idx : int array; mutable n : int }
+
+val sel_all : int -> sel
+val refine : (int -> bool) -> sel -> unit
+val gather : Table.row array -> sel -> Table.row array
+
+val sel_eq_const : Column.t -> Value.t -> int -> sel
+(** [sel_eq_const col v n] is [sel_all n] refined by [eq_const col v],
+    fused into one direct loop over the column representation. *)
+
+val join_ints : Column.t -> Column.t -> (int -> int -> unit) -> bool
+(** [join_ints build probe emit] runs a fully fused chained-bucket hash
+    join over two int columns of the same kind, calling [emit bi pi] for
+    every key-equal pair — probe-major, latest-insertion-first within
+    equal keys (the [Hashtbl.find_all] order). Returns [false] without
+    emitting when the columns are not both [Ints] of one kind. *)

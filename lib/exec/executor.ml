@@ -27,6 +27,7 @@ type t = {
   query : Query.t;
   mutable bud : budget;
   store : (Relset.t, Intermediate.t) Hashtbl.t;
+  chunks : (Relset.t, Chunk.t) Hashtbl.t;
   mutable produced : float;
   mutable sigma_total : float;
   fault : Fault.t;
@@ -35,9 +36,8 @@ type t = {
   m : counters;
 }
 
-let create ?ctx ?(fault = Fault.disabled) ?(deadline = Deadline.none) catalog
-    query bud =
-  let tel = match ctx with Some t -> t | None -> Ctx.null () in
+let create ?(env = Env.default) catalog query bud =
+  let tel = Ctx.of_env env in
   let m =
     { m_scanned = Ctx.counter tel "exec.tuples_scanned";
       m_built = Ctx.counter tel "exec.tuples_built";
@@ -51,10 +51,11 @@ let create ?ctx ?(fault = Fault.disabled) ?(deadline = Deadline.none) catalog
     query;
     bud;
     store = Hashtbl.create 16;
+    chunks = Hashtbl.create 16;
     produced = 0.0;
     sigma_total = 0.0;
-    fault;
-    deadline;
+    fault = Env.fault env;
+    deadline = Env.deadline env;
     tel;
     m }
 
@@ -79,6 +80,22 @@ let spend t n =
   t.bud.remaining <- t.bud.remaining -. n;
   if t.bud.remaining < 0.0 then raise Timeout
 
+(* Chunk (batch view) of a materialized relation, keyed like the store. *)
+let chunk_of ?table t (inter : Intermediate.t) =
+  match Hashtbl.find_opt t.chunks inter.Intermediate.mask with
+  | Some c when c.Chunk.rows == inter.Intermediate.rows -> c
+  | _ ->
+    let c = Chunk.of_intermediate ?table t.query t.catalog inter in
+    Hashtbl.replace t.chunks inter.Intermediate.mask c;
+    c
+
+(* Local slot of an identity term within [inter], when vectorizable. *)
+let identity_slot t (inter : Intermediate.t) (tm : Term.t) =
+  match tm.Term.args with
+  | [ (rel, col) ] when Udf.is_identity tm.Term.udf ->
+    Some (Intermediate.col_index t.query t.catalog inter ~rel ~col)
+  | _ -> None
+
 let compile_term t inter tm =
   let ev =
     Term.compile tm
@@ -102,6 +119,33 @@ let compile_filter t inter pid =
     let evl = compile_term t inter left and evr = compile_term t inter right in
     fun row -> Value.equal (evl row) (evr row)
 
+(* Vectorized filters over one chunk: every term of every predicate must
+   be an identity projection, else the scan falls back to the scalar
+   row loop. Returns per-index predicates in predicate order. *)
+let vector_filters t (inter : Intermediate.t) chunk pids =
+  let exception Fallback in
+  let slot tm =
+    match identity_slot t inter tm with
+    | Some s -> s
+    | None -> raise Fallback
+  in
+  try
+    Some
+      (List.map
+         (fun pid ->
+           match Query.pred t.query pid with
+           | Predicate.Select { term = tm; value; _ } ->
+             Chunk.eq_const (Chunk.column chunk (slot tm)) value
+           | Predicate.Join { left; right; _ } ->
+             let eq =
+               Chunk.eq_cols
+                 (Chunk.column chunk (slot left))
+                 (Chunk.column chunk (slot right))
+             in
+             fun i -> eq i i)
+         pids)
+  with Fallback -> None
+
 let scan_base t rel =
   let mask = Relset.singleton rel in
   match Hashtbl.find_opt t.store mask with
@@ -114,21 +158,65 @@ let scan_base t rel =
        the scan — corrupt data is detected, not silently propagated. *)
     if Fault.armed t.fault then Array.iter (fun _ -> Fault.row t.fault) raw;
     let inter0 = Intermediate.of_base t.query t.catalog ~rows:raw rel in
-    let filters =
-      List.map (compile_filter t inter0) (Query.select_preds_of_rel t.query rel)
-    in
+    let pids = Query.select_preds_of_rel t.query rel in
     let inter =
-      if filters = [] then inter0
+      if pids = [] then inter0
       else begin
-        let keep = List.fold_left (fun acc f row -> acc row && f row) (fun _ -> true) filters in
+        let vectorized =
+          if Fault.armed t.fault then None
+          else begin
+            let chunk = chunk_of ~table t inter0 in
+            match vector_filters t inter0 chunk pids with
+            | None -> None
+            | Some preds ->
+              (* Selection-vector refinement in predicate order — the same
+                 accepted set as the scalar short-circuit conjunction. The
+                 first predicate is fused into the selection build when it
+                 is a plain [col = const] (vector_filters succeeding means
+                 every term is an identity projection). *)
+              let n = Array.length raw in
+              let sel =
+                match (Query.pred t.query (List.hd pids), preds) with
+                | Predicate.Select { term = tm; value; _ }, _ :: rest ->
+                  let slot =
+                    match identity_slot t inter0 tm with
+                    | Some s -> s
+                    | None -> assert false
+                  in
+                  let sel =
+                    Chunk.sel_eq_const (Chunk.column chunk slot) value n
+                  in
+                  List.iter (fun p -> Chunk.refine p sel) rest;
+                  sel
+                | _ ->
+                  let sel = Chunk.sel_all n in
+                  List.iter (fun p -> Chunk.refine p sel) preds;
+                  sel
+              in
+              Some (Chunk.gather raw sel)
+          end
+        in
         let rows =
-          Array.of_seq (Seq.filter keep (Array.to_seq raw))
+          match vectorized with
+          | Some rows -> rows
+          | None ->
+            let filters = List.map (compile_filter t inter0) pids in
+            let keep =
+              List.fold_left
+                (fun acc f row -> acc row && f row)
+                (fun _ -> true) filters
+            in
+            Array.of_seq (Seq.filter keep (Array.to_seq raw))
         in
         spend t (float_of_int (Array.length rows));
         Intermediate.of_base t.query t.catalog ~rows rel
       end
     in
     Hashtbl.replace t.store mask inter;
+    if not (Fault.armed t.fault) then begin
+      let table = if inter.Intermediate.rows == raw then Some table else None in
+      ignore (chunk_of ?table t inter)
+    end;
     inter
 
 (* Orientation of a connecting join predicate: which term keys which side. *)
@@ -138,14 +226,28 @@ let orient_pred t lm pid =
     if Relset.subset (Term.rels left) lm then (left, right) else (right, left)
   | Predicate.Select _ -> assert false
 
-let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
-  let q = t.query in
-  let conn = Query.connecting q la.Intermediate.mask rb.Intermediate.mask in
-  let newly = Query.newly_evaluable q ~left:la.Intermediate.mask ~right:rb.Intermediate.mask in
-  let filter_pids = List.filter (fun p -> not (List.mem p conn)) newly in
-  let mask, offsets, width = Intermediate.combined_layout la rb in
+(* Growable output-row buffer (emission order preserved). *)
+type rowbuf = { mutable data : Table.row array; mutable len : int }
+
+let rowbuf () = { data = Array.make 1024 [||]; len = 0 }
+
+let rowbuf_push b row =
+  if b.len = Array.length b.data then begin
+    let d = Array.make (2 * b.len) [||] in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  b.data.(b.len) <- row;
+  b.len <- b.len + 1
+
+let rowbuf_contents b = Array.init b.len (fun i -> b.data.(i))
+
+(* The scalar join loops — the armed-fault path (checkpoint draw order is
+   part of the contract) and the fallback for non-identity key or filter
+   terms. Byte-for-byte the row engine's semantics. *)
+let hash_join_scalar t (la : Intermediate.t) (rb : Intermediate.t) ~conn
+    ~filter_pids ~mask ~offsets ~width =
   let out = ref [] in
-  let n_out = ref 0 in
   let emit lrow rrow =
     let row = Array.make width Value.Null in
     Array.blit lrow 0 row 0 la.Intermediate.width;
@@ -154,9 +256,7 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
   in
   (* Filters run on the combined layout; build a template intermediate to
      compile them against. *)
-  let combined_proto =
-    { Intermediate.mask; offsets; width; rows = [||] }
-  in
+  let combined_proto = { Intermediate.mask; offsets; width; rows = [||] } in
   let filters = List.map (compile_filter t combined_proto) filter_pids in
   let accept row = List.for_all (fun f -> f row) filters in
   if conn = [] then begin
@@ -171,7 +271,6 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
             if accept row then begin
               spend t 1.0;
               Metric.Counter.inc t.m.m_emitted;
-              incr n_out;
               out := row :: !out
             end)
           rb.Intermediate.rows)
@@ -216,14 +315,237 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
             if accept row then begin
               spend t 1.0;
               Metric.Counter.inc t.m.m_emitted;
-              incr n_out;
               out := row :: !out
             end)
           (Hashtbl.find_all table k))
       probe.Intermediate.rows
   end;
+  Array.of_list (List.rev !out)
 
-  let rows = Array.of_list (List.rev !out) in
+(* Straddling filters as (left-index, right-index) predicates: every term
+   must be an identity projection on one side. *)
+let pair_filters t (la : Intermediate.t) (rb : Intermediate.t) chunk_la
+    chunk_rb filter_pids =
+  let exception Fallback in
+  let loc tm =
+    match tm.Term.args with
+    | [ (rel, col) ] when Udf.is_identity tm.Term.udf ->
+      if Relset.mem rel la.Intermediate.mask then
+        (true, Intermediate.col_index t.query t.catalog la ~rel ~col)
+      else (false, Intermediate.col_index t.query t.catalog rb ~rel ~col)
+    | _ -> raise Fallback
+  in
+  let col (on_left, s) = Chunk.column (if on_left then chunk_la else chunk_rb) s in
+  try
+    Some
+      (List.map
+         (fun pid ->
+           match Query.pred t.query pid with
+           | Predicate.Select { term = tm; value; _ } ->
+             let ((on_left, _) as l) = loc tm in
+             let p = Chunk.eq_const (col l) value in
+             fun li ri -> p (if on_left then li else ri)
+           | Predicate.Join { left; right; _ } ->
+             let ((left_l, _) as l1) = loc left in
+             let ((left_r, _) as l2) = loc right in
+             let eq = Chunk.eq_cols (col l1) (col l2) in
+             fun li ri ->
+               eq (if left_l then li else ri) (if left_r then li else ri))
+         filter_pids)
+  with Fallback -> None
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  go 16
+
+(* Vectorized hash join / cross product over chunked inputs. Returns None
+   (fall back to the scalar loop) unless every key and filter term is an
+   identity projection. Parity notes: counters, the build checkpoint, the
+   per-emitted-row budget draw and the emission order (probe-major,
+   reverse-insertion within equal keys — exactly [Hashtbl.find_all]) all
+   replicate the scalar loop. *)
+let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
+    ~filter_pids ~width =
+  let chunk_la = chunk_of t la and chunk_rb = chunk_of t rb in
+  match pair_filters t la rb chunk_la chunk_rb filter_pids with
+  | None -> None
+  | Some accepts ->
+    let emit li ri =
+      let row = Array.make width Value.Null in
+      Array.blit la.Intermediate.rows.(li) 0 row 0 la.Intermediate.width;
+      Array.blit rb.Intermediate.rows.(ri) 0 row la.Intermediate.width
+        rb.Intermediate.width;
+      row
+    in
+    let accept li ri = List.for_all (fun f -> f li ri) accepts in
+    let out = rowbuf () in
+    (* Per-row budget accounting stays inline (the Timeout point is part of
+       the contract); the atomic metric counters are batched and flushed at
+       loop exit — including the Timeout exit, so totals are unchanged. *)
+    let spent = ref 0.0 and emitted = ref 0.0 in
+    let flush_counters () =
+      if !spent > 0.0 then Metric.Counter.add t.m.m_budget !spent;
+      if !emitted > 0.0 then Metric.Counter.add t.m.m_emitted !emitted;
+      spent := 0.0;
+      emitted := 0.0
+    in
+    let emit_accepted li ri =
+      t.produced <- t.produced +. 1.0;
+      spent := !spent +. 1.0;
+      t.bud.remaining <- t.bud.remaining -. 1.0;
+      if t.bud.remaining < 0.0 then begin
+        flush_counters ();
+        raise Timeout
+      end;
+      emitted := !emitted +. 1.0;
+      rowbuf_push out (emit li ri)
+    in
+    if conn = [] then begin
+      Metric.Counter.add t.m.m_probed
+        (float_of_int (Intermediate.cardinality la));
+      let nl = Intermediate.cardinality la
+      and nr = Intermediate.cardinality rb in
+      for li = 0 to nl - 1 do
+        for ri = 0 to nr - 1 do
+          if accept li ri then emit_accepted li ri
+        done
+      done;
+      flush_counters ();
+      Some (rowbuf_contents out)
+    end
+    else begin
+      let build_is_left =
+        Intermediate.cardinality la <= Intermediate.cardinality rb
+      in
+      let build, probe, cbuild, cprobe =
+        if build_is_left then (la, rb, chunk_la, chunk_rb)
+        else (rb, la, chunk_rb, chunk_la)
+      in
+      let keyed =
+        let exception Fallback in
+        try
+          Some
+            (List.map
+               (fun pid ->
+                 let bt, pt = orient_pred t build.Intermediate.mask pid in
+                 match
+                   (identity_slot t build bt, identity_slot t probe pt)
+                 with
+                 | Some bs, Some ps ->
+                   let bc = Chunk.column cbuild bs
+                   and pc = Chunk.column cprobe ps in
+                   let bh, ph = Chunk.key_hash_pair bc pc in
+                   ((bc, pc), (bh, ph, Chunk.eq_cols bc pc))
+                 | _ -> raise Fallback)
+               conn)
+        with Fallback -> None
+      in
+      match keyed with
+      | None -> None
+      | Some keyed ->
+        let key_cols, keyed = List.split keyed in
+        let keyed = Array.of_list keyed in
+        let nk = Array.length keyed in
+        (* Native-int combine: only bucket assignment depends on it. The
+           single-key case (the common one) skips the combine loop. *)
+        let hash_row side i =
+          let h = ref 0 in
+          for c = 0 to nk - 1 do
+            let hb, hp, _ = keyed.(c) in
+            let hc = if side then hb i else hp i in
+            h := (!h * 0x3C79AC492BA7B653) lxor hc
+          done;
+          !h
+        in
+        let hash_build, hash_probe, verify =
+          if nk = 1 then
+            let hb, hp, eq = keyed.(0) in
+            (hb, hp, eq)
+          else
+            ( hash_row true,
+              hash_row false,
+              fun bi pi ->
+                let ok = ref true in
+                let c = ref 0 in
+                while !ok && !c < nk do
+                  let _, _, eq = keyed.(!c) in
+                  (if not (eq bi pi) then ok := false);
+                  incr c
+                done;
+                !ok )
+        in
+        let nb = Intermediate.cardinality build
+        and np = Intermediate.cardinality probe in
+        Metric.Counter.add t.m.m_built (float_of_int nb);
+        Metric.Counter.add t.m.m_probed (float_of_int np);
+        (* Build checkpoint: one draw per hash-join build. *)
+        Fault.build t.fault;
+        (* A single int key with no straddling filters takes the fully
+           fused loop (same pairs, same order — see {!Chunk.join_ints}). *)
+        let fused =
+          match key_cols, accepts with
+          | [ (bc, pc) ], [] ->
+            Chunk.join_ints bc pc (fun bi pi ->
+                let li = if build_is_left then bi else pi
+                and ri = if build_is_left then pi else bi in
+                emit_accepted li ri)
+          | _ -> false
+        in
+        if fused then begin
+          flush_counters ();
+          Some (rowbuf_contents out)
+        end
+        else begin
+        (* Chained-bucket index: chains run latest-insertion-first, the
+           same order [Hashtbl.find_all] yields equal keys in. *)
+        let sz = next_pow2 (2 * max 1 nb) in
+        let msk = sz - 1 in
+        let head = Array.make sz (-1) in
+        let next = Array.make (max 1 nb) (-1) in
+        let hashes = Array.make (max 1 nb) 0 in
+        for bi = 0 to nb - 1 do
+          let h = hash_build bi in
+          hashes.(bi) <- h;
+          let b = h land msk in
+          next.(bi) <- head.(b);
+          head.(b) <- bi
+        done;
+        for pi = 0 to np - 1 do
+          let h = hash_probe pi in
+          let c = ref head.(h land msk) in
+          while !c >= 0 do
+            let bi = !c in
+            if hashes.(bi) = h && verify bi pi then begin
+              let li = if build_is_left then bi else pi
+              and ri = if build_is_left then pi else bi in
+              if accept li ri then emit_accepted li ri
+            end;
+            c := next.(bi)
+          done
+        done;
+        flush_counters ();
+        Some (rowbuf_contents out)
+        end
+    end
+
+let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
+  let q = t.query in
+  let conn = Query.connecting q la.Intermediate.mask rb.Intermediate.mask in
+  let newly =
+    Query.newly_evaluable q ~left:la.Intermediate.mask
+      ~right:rb.Intermediate.mask
+  in
+  let filter_pids = List.filter (fun p -> not (List.mem p conn)) newly in
+  let mask, offsets, width = Intermediate.combined_layout la rb in
+  let rows =
+    let fast =
+      if Fault.armed t.fault then None
+      else hash_join_fast t la rb ~conn ~filter_pids ~width
+    in
+    match fast with
+    | Some rows -> rows
+    | None -> hash_join_scalar t la rb ~conn ~filter_pids ~mask ~offsets ~width
+  in
   { Intermediate.mask; offsets; width; rows }
 
 let stats_pass t (inter : Intermediate.t) =
@@ -237,13 +559,23 @@ let stats_pass t (inter : Intermediate.t) =
       Metric.Counter.add t.m.m_sigma (float_of_int card);
       t.sigma_total <- t.sigma_total +. float_of_int card;
       let terms = Query.interesting_terms t.query inter.Intermediate.mask in
+      let vec = not (Fault.armed t.fault) in
       List.map
         (fun tm ->
-          let ev = compile_term t inter tm in
           let hll = Hyperloglog.create ~p:14 () in
-          Array.iter
-            (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
-            inter.Intermediate.rows;
+          (match (if vec then identity_slot t inter tm else None) with
+          | Some slot ->
+            (* Column path: the HLL register updates are the same values in
+               the same order as hashing the boxed rows. *)
+            let col = Chunk.column (chunk_of t inter) slot in
+            for i = 0 to card - 1 do
+              Hyperloglog.add_hash hll (Column.value_hash col i)
+            done
+          | None ->
+            let ev = compile_term t inter tm in
+            Array.iter
+              (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
+              inter.Intermediate.rows);
           (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
         terms)
 

@@ -6,6 +6,16 @@
     connects the sides, and the Σ statistics-collection pass via
     HyperLogLog.
 
+    Execution is batch-at-a-time over typed columnar chunks
+    ({!Monsoon_storage.Column} / {!Chunk}): identity-projection terms are
+    evaluated directly against Bigarray-backed columns with selection
+    vectors, hash-join keys are hashed and verified unboxed, and Σ feeds
+    column hashes straight into HyperLogLog. Opaque (non-identity) UDF
+    terms and armed fault plans take the scalar row path, which is
+    observationally identical — the differential suite pins charged cost,
+    [stat_obs], counters and checkpoint draw order against the frozen
+    {!Row_engine}.
+
     Cost accounting matches {!Monsoon_relalg.Cost_model}: each join node is
     charged its output cardinality, a Σ node an extra pass over its input,
     base scans are free, and the complete query's final result is not
@@ -27,30 +37,27 @@ type t
     materialized intermediates keyed by instance mask. Persists across the
     multiple EXECUTE steps of a Monsoon run. *)
 
-val create :
-  ?ctx:Monsoon_telemetry.Ctx.t ->
-  ?fault:Monsoon_util.Fault.t ->
-  ?deadline:Monsoon_util.Deadline.t ->
-  Catalog.t ->
-  Query.t ->
-  budget ->
-  t
-(** With [?ctx], per-operator tuple counters land in the context's
-    registry ([exec.tuples_scanned]/[_built]/[_probed]/[_emitted],
+val create : ?env:Monsoon_util.Env.t -> Catalog.t -> Query.t -> budget -> t
+(** The execution environment bundles the telemetry context, fault plan
+    and deadline; [Monsoon_util.Env.default] (the default) is all Null
+    sinks. With a packed context ([Monsoon_telemetry.Ctx.to_env]),
+    per-operator tuple counters land in the context's registry
+    ([exec.tuples_scanned]/[_built]/[_probed]/[_emitted],
     [exec.sigma_objects], [exec.budget_spent]) and every [execute] call and
     Σ pass emits a span ([exec.execute] with [objects]/[sigma_objects]
     attributes — set even when the call raises {!Timeout} — and
-    [exec.sigma]). Default: a fresh Null-sink context; the counters still
-    run but nothing retains them.
+    [exec.sigma]).
 
-    With [?fault], an armed fault plan is consulted at three checkpoints —
+    With an armed [env.fault], the plan is consulted at three checkpoints —
     each compiled UDF evaluation, each scanned base row, each hash-join
     build — and a firing checkpoint aborts the call with
     [Monsoon_util.Fault.Injected] (counted on the [fault.injected]
-    counter). With [?deadline], every plan node of an [execute] call
-    cooperatively checks the token and raises
-    [Monsoon_util.Deadline.Expired] once it trips. Both default to their
-    Null sinks: one branch per checkpoint when off. *)
+    counter); an armed plan also pins execution to the scalar row path so
+    the checkpoint draw order is exactly the row engine's. With
+    [env.deadline] set, every plan node of an [execute] call cooperatively
+    checks the token and raises [Monsoon_util.Deadline.Expired] once it
+    trips. Defaults are the Null sinks: one branch per checkpoint when
+    off. *)
 
 val set_budget : t -> budget -> unit
 

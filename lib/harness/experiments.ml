@@ -216,7 +216,7 @@ let monsoon_strategy profile prior =
   Strategy.monsoon ~iterations:profile.monsoon_iterations prior
 
 let run_workload profile ~budget ?queries strategies workload =
-  Runner.run_suite ~ctx:profile.ctx
+  Runner.run_suite ~env:(Ctx.to_env profile.ctx)
     { Runner.default_config with
       Runner.budget;
       seed = profile.seed;
@@ -427,7 +427,7 @@ let table8 profile =
     let buf = Span.memory_buffer () in
     let tel = Ctx.create ~sink:(Span.Memory buf) () in
     let rows =
-      Runner.run_suite ~ctx:tel
+      Runner.run_suite ~env:(Ctx.to_env tel)
         { Runner.default_config with
           Runner.budget;
           seed = profile.seed;
@@ -644,14 +644,12 @@ let explain profile ~experiment ~query =
           mcts;
           mcts_workers = 1;
           budget;
-          max_steps = 200;
-          fault = Fault.disabled;
-          deadline = Deadline.none }
+          max_steps = 200 }
       in
       let recorder = Recorder.create () in
       let _outcome =
         Driver.run
-          ~ctx:(Ctx.with_recorder profile.ctx recorder)
+          ~env:(Ctx.to_env (Ctx.with_recorder profile.ctx recorder))
           config w.Workload.catalog q
       in
       Ok recorder)
@@ -673,7 +671,7 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
       | None -> List.map fst w.Workload.queries
     in
     let strategy = monsoon_strategy profile Prior.spike_and_slab in
-    let handler ~id:_ ~rng ~deadline ~recorder ~trace qname =
+    let handler ~id:_ ~rng ~env ~recorder ~trace qname =
       match List.assoc_opt qname w.Workload.queries with
       | None ->
         Error
@@ -689,10 +687,8 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
         let ctx =
           Ctx.with_trace_id (Ctx.with_recorder profile.ctx recorder) trace
         in
-        let o =
-          strategy.Strategy.run ~ctx ~fault ~deadline ~rng ~budget
-            w.Workload.catalog q
-        in
+        let env = Env.with_fault (Ctx.to_env ~env ctx) fault in
+        let o = strategy.Strategy.run ~env ~rng ~budget w.Workload.catalog q in
         Ok
           { Monsoon_server.Server.x_cost = o.Strategy.cost;
             x_timed_out = o.Strategy.timed_out;
@@ -722,7 +718,7 @@ let chaos profile ~experiment ~faults ~retries ~cell_deadline ?qlog () =
         cell_deadline;
         qlog }
     in
-    let rows = Runner.run_suite ~ctx:profile.ctx config (seven profile) w in
+    let rows = Runner.run_suite ~env:(Ctx.to_env profile.ctx) config (seven profile) w in
     (* Everything below is derived from the returned cells and the metric
        registry — no wall-clock numbers — so the same seed + spec renders a
        byte-identical report across runs and across [jobs] settings. *)

@@ -58,9 +58,14 @@ let selected_queries config (w : Workload.t) =
   | Some names ->
     List.map (fun n -> (n, Workload.find_query w n)) names
 
-let run_suite ?ctx ?(cancel = Deadline.none) config strategies (w : Workload.t)
-    =
-  let tel = match ctx with Some t -> t | None -> Ctx.null () in
+let run_suite ?(env = Monsoon_util.Env.default) config strategies
+    (w : Workload.t) =
+  let tel = Ctx.of_env env in
+  (* The environment's deadline is the suite-level cancellation token;
+     per-cell deadlines come from [config.cell_deadline] and per-cell fault
+     plans from [config.faults], so both stay derivable from the cell tuple
+     alone (determinism and jobs-invariance). *)
+  let cancel = Env.deadline env in
   let queries = selected_queries config w in
   let c_cells = Ctx.counter tel "runner.cells" in
   let c_retries = Ctx.counter tel "runner.retries" in
@@ -128,10 +133,15 @@ let run_suite ?ctx ?(cancel = Deadline.none) config strategies (w : Workload.t)
               ("query", Span.Str qname);
               ("attempt", Span.Int k) ]
         @@ fun span ->
+        let env_attempt =
+          Env.with_deadline
+            (Env.with_fault (Ctx.to_env tel_attempt) fault)
+            deadline
+        in
         let o =
           match
-            s.Strategy.run ~ctx:tel_attempt ~fault ~deadline ~rng
-              ~budget:config.budget w.Workload.catalog q
+            s.Strategy.run ~env:env_attempt ~rng ~budget:config.budget
+              w.Workload.catalog q
           with
           | o -> o
           | exception Deadline.Expired ->

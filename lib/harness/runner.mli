@@ -65,24 +65,26 @@ type cell = {
 type row = { strategy : string; cells : cell list }
 
 val run_suite :
-  ?ctx:Monsoon_telemetry.Ctx.t ->
-  ?cancel:Deadline.t ->
-  config -> Strategy.t list -> Workload.t -> row list
+  ?env:Monsoon_util.Env.t -> config -> Strategy.t list -> Workload.t -> row list
 (** One row per strategy, one cell per query (in suite order). The
     hand-written plans, when the workload has them, can be included by
     adding a {!Strategy.fixed_plan} to the list.
 
-    With [?ctx], the context is threaded into every strategy run and each
-    (strategy, query) cell executes under a ["query"] root span carrying
-    [strategy] / [query] / [attempt] / [cost] / [timed_out] attributes;
-    with [config.jobs > 1] cells run concurrently, so the context's metrics
-    and spans must be (and are) domain-safe — only span ordering varies
-    between [jobs] settings, never the returned rows.
+    [?env] carries the suite-level environment. Its context is threaded
+    into every strategy run and each (strategy, query) cell executes under
+    a ["query"] root span carrying [strategy] / [query] / [attempt] /
+    [cost] / [timed_out] attributes; with [config.jobs > 1] cells run
+    concurrently, so the context's metrics and spans must be (and are)
+    domain-safe — only span ordering varies between [jobs] settings, never
+    the returned rows. [Monsoon_util.Env.default] (the default) leaves the
+    run byte-identical to an unaudited run.
 
-    [?cancel] abandons the whole suite: once the token trips, cells not yet
-    started stop running and the call raises
+    [env]'s deadline abandons the whole suite: once the token trips, cells
+    not yet started stop running and the call raises
     [Monsoon_util.Deadline.Expired] — after the pool has drained and every
-    worker domain is joined, so cancellation never leaks domains.
+    worker domain is joined, so cancellation never leaks domains. (Per-cell
+    fault plans and deadlines are the suite's own business: they derive
+    from [config.faults] / [config.cell_deadline], never from [env].)
 
     Resilience counters: [runner.cells], [runner.retries],
     [runner.quarantined] (plus the [pool.respawned] gauge when faults kill

@@ -215,12 +215,10 @@ let merge_root_edges per_tree =
     per_tree;
   !merged
 
-let plan ?ctx ?(workers = 1) ?problem_of cfg p root_state =
+let plan ?(env = Env.default) ?(workers = 1) ?problem_of cfg p root_state =
   if p.is_terminal root_state then None
   else begin
-    let tel =
-      match ctx with Some t -> t | None -> Monsoon_telemetry.Ctx.null ()
-    in
+    let tel = Monsoon_telemetry.Ctx.of_env env in
     let open Monsoon_telemetry in
     let c_plans = Ctx.counter tel "mcts.plans" in
     let c_iterations = Ctx.counter tel "mcts.iterations" in

@@ -64,7 +64,7 @@ type 'a stats = {
 }
 
 val plan :
-  ?ctx:Monsoon_telemetry.Ctx.t ->
+  ?env:Monsoon_util.Env.t ->
   ?workers:int ->
   ?problem_of:(Monsoon_util.Rng.t -> ('s, 'a) problem) ->
   config -> ('s, 'a) problem -> 's -> ('a * 'a stats) option
@@ -85,7 +85,8 @@ val plan :
     domain-safe (the Monsoon {!Monsoon_core.Simulator} is not: it owns an
     RNG and memo tables); without it all workers share [p].
 
-    With [?ctx], each call bumps [mcts.plans] / [mcts.iterations] /
+    With a context packed into [?env] (the planner's deadline lives on
+    {!config}, not the environment), each call bumps [mcts.plans] / [mcts.iterations] /
     [mcts.expansions] counters, observes per-iteration tree depth in the
     [mcts.tree_depth] histogram, and emits an [mcts.plan] span carrying
     iteration, worker, expansion, and selection attributes

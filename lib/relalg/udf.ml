@@ -1,8 +1,8 @@
 open Monsoon_storage
 
-type t = { name : string; fn : Value.t array -> Value.t }
+type t = { name : string; fn : Value.t array -> Value.t; is_identity : bool }
 
-let make name fn = { name; fn }
+let make name fn = { name; fn; is_identity = false }
 
 let identity hint =
   { name = Printf.sprintf "id(%s)" hint;
@@ -12,7 +12,9 @@ let identity hint =
       | args ->
         invalid_arg
           (Printf.sprintf "identity UDF applied to %d args" (Array.length args)));
+    is_identity = true;
   }
 
 let apply t args = t.fn args
 let name t = t.name
+let is_identity t = t.is_identity

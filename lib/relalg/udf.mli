@@ -8,7 +8,7 @@
 
 open Monsoon_storage
 
-type t = { name : string; fn : Value.t array -> Value.t }
+type t = { name : string; fn : Value.t array -> Value.t; is_identity : bool }
 
 val make : string -> (Value.t array -> Value.t) -> t
 
@@ -19,3 +19,9 @@ val identity : string -> t
 
 val apply : t -> Value.t array -> Value.t
 val name : t -> string
+
+val is_identity : t -> bool
+(** True only for {!identity}. An execution-layer concession: the
+    vectorized executor reads the referenced column directly instead of
+    boxing an argument buffer per row. The optimizer never consults this —
+    planning still treats every term as opaque. *)

@@ -37,7 +37,7 @@ let export t =
   Metric.Gauge.set t.g_depth (float_of_int t.queued);
   Metric.Gauge.set t.g_in_flight (float_of_int t.in_flight)
 
-let admit ?(deadline = Deadline.none) t =
+let admit ~deadline t =
   Mutex.lock t.lock;
   let decision =
     if t.closing then Closed

@@ -39,8 +39,9 @@ val create :
   t
 (** @raise Invalid_argument when [max_concurrent < 1] or [queue_bound < 0]. *)
 
-val admit : ?deadline:Monsoon_util.Deadline.t -> t -> decision
-(** Blocks only in the {!Admitted}-after-queueing case. The deadline is
+val admit : deadline:Monsoon_util.Deadline.t -> t -> decision
+(** Blocks only in the {!Admitted}-after-queueing case
+    ([Monsoon_util.Deadline.none] never trips). The deadline is
     checked on entry and at every wakeup; a queued request whose deadline
     trips resolves to {!Timed_out} at the next slot handoff. *)
 

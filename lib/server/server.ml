@@ -13,7 +13,7 @@ type handler_error = [ `Unknown_query of string | `Failed of string ]
 type handler =
   id:int ->
   rng:Rng.t ->
-  deadline:Deadline.t ->
+  env:Env.t ->
   recorder:Recorder.t ->
   trace:string ->
   string ->
@@ -62,14 +62,14 @@ type t = {
   mutable acceptor : Thread.t option;
 }
 
-let create ?ctx ?(queries = []) config handler =
+let create ?(env = Env.default) ?(queries = []) config handler =
   if config.explain_ring < 0 then
     invalid_arg "Server.create: explain_ring must be >= 0";
   (match config.request_timeout with
   | Some s when s <= 0.0 ->
     invalid_arg "Server.create: request_timeout must be > 0"
   | _ -> ());
-  let ctx = match ctx with Some c -> c | None -> Ctx.null () in
+  let ctx = Ctx.of_env env in
   { config;
     ctx;
     queries;
@@ -218,7 +218,9 @@ let submit t qname =
              request failure, never a server failure. *)
           match
             Pool.run t.pool (fun () ->
-                t.handler ~id ~rng ~deadline ~recorder ~trace qname)
+                t.handler ~id ~rng
+                  ~env:(Env.with_deadline Env.default deadline)
+                  ~recorder ~trace qname)
           with
           | Ok o -> `Done o
           | Error e -> `Err e

@@ -59,18 +59,21 @@ type handler_error =
 type handler =
   id:int ->
   rng:Rng.t ->
-  deadline:Deadline.t ->
+  env:Env.t ->
   recorder:Recorder.t ->
   trace:string ->
   string ->
   (exec_outcome, handler_error) result
 (** Runs one named query on a pool worker domain. [rng] is the request's
-    private deterministic stream; [deadline] the request timeout (check it
-    cooperatively); [recorder] captures the decision trajectory when the
-    server retains explains (a null recorder otherwise); [trace] is the
-    request's trace id — thread it into the handler's context
-    ({!Monsoon_telemetry.Ctx.with_trace_id}) so the spans it opens join the
-    request's qlog record and explain capture. Exceptions — including
+    private deterministic stream; [env] is the request's execution
+    environment — its deadline is the request timeout (enrich the
+    environment, don't replace it: [Monsoon_telemetry.Ctx.to_env ~env] and
+    [Monsoon_util.Env.with_fault] layer the handler's context and fault
+    plan over the request deadline); [recorder] captures the decision
+    trajectory when the server retains explains (a null recorder
+    otherwise); [trace] is the request's trace id — thread it into the
+    handler's context ({!Monsoon_telemetry.Ctx.with_trace_id}) so the spans
+    it opens join the request's qlog record and explain capture. Exceptions — including
     {!Monsoon_util.Deadline.Expired} and {!Monsoon_util.Fault.Injected} —
     are caught and classified by the server; they fail the request, never
     the server. *)
@@ -98,10 +101,11 @@ val default_config : config
 
 type t
 
-val create : ?ctx:Ctx.t -> ?queries:string list -> config -> handler -> t
+val create : ?env:Env.t -> ?queries:string list -> config -> handler -> t
 (** Spawns the worker pool. [queries] is the advertised name list for
     [GET /queries] (purely informational — the handler remains the
-    authority). [ctx]'s registry carries every server metric. *)
+    authority). The registry of [env]'s packed context
+    ({!Monsoon_telemetry.Ctx.to_env}) carries every server metric. *)
 
 type response = {
   rs_id : int;

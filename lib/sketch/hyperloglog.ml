@@ -9,19 +9,24 @@ let create ?(p = 12) () =
 let clear t = Bytes.fill t.regs 0 (Bytes.length t.regs) '\000'
 
 let add_hash t h =
-  let m = 1 lsl t.p in
-  let idx = Int64.to_int (Int64.logand h (Int64.of_int (m - 1))) in
-  let rest = Int64.shift_right_logical h t.p in
+  (* Native-int arithmetic on the two pieces of the hash: the low [p] bits
+     survive [Int64.to_int] truncation untouched (p <= 18), and the
+     logically-shifted remainder has at most 60 significant bits (p >= 4),
+     so both fit OCaml's 63-bit int. Register updates are bit-identical to
+     doing the same arithmetic in [Int64] — this path runs once per object
+     per term in every Σ pass. *)
+  let idx = Int64.to_int h land ((1 lsl t.p) - 1) in
+  let rest = Int64.to_int (Int64.shift_right_logical h t.p) in
   (* Position of the leftmost 1-bit in the remaining (64 - p) bits,
      counting from 1; all-zero remainder scores 64 - p + 1. *)
   let rank =
-    if Int64.equal rest 0L then 64 - t.p + 1
+    if rest = 0 then 64 - t.p + 1
     else begin
       let r = ref 1 in
       let v = ref rest in
-      while Int64.logand !v 1L = 0L do
+      while !v land 1 = 0 do
         incr r;
-        v := Int64.shift_right_logical !v 1
+        v := !v lsr 1
       done;
       !r
     end

@@ -2,51 +2,65 @@ open Monsoon_relalg
 
 type scope = Wildcard | For_pred of int | For_select
 
+module IntMap = Map.Make (Int)
+
+module PairMap = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* Persistent maps behind mutable fields: [copy] is four field reads, not
+   four table copies. The simulator clones the catalog on every stochastic
+   transition (thousands of times per MCTS planning step), and the clones
+   share almost all of their entries — exactly the persistent-structure
+   sweet spot. The mutating interface is unchanged; it swaps roots. *)
 type t = {
-  counts : (Relset.t, float) Hashtbl.t;
-  wildcard : (int, float) Hashtbl.t;       (* term id -> measured d *)
-  scoped : (int * int, float) Hashtbl.t;   (* (term id, pred id) -> assumed d *)
-  sel_scoped : (int, float) Hashtbl.t;     (* term id -> assumed d in selection context *)
+  mutable counts : float IntMap.t;  (* Relset.t masks are ints *)
+  mutable wildcard : float IntMap.t;  (* term id -> measured d *)
+  mutable scoped : float PairMap.t;  (* (term id, pred id) -> assumed d *)
+  mutable sel_scoped : float IntMap.t;  (* term id -> assumed d, selections *)
 }
 
 let create () =
-  { counts = Hashtbl.create 32;
-    wildcard = Hashtbl.create 16;
-    scoped = Hashtbl.create 16;
-    sel_scoped = Hashtbl.create 16 }
+  { counts = IntMap.empty;
+    wildcard = IntMap.empty;
+    scoped = PairMap.empty;
+    sel_scoped = IntMap.empty }
 
 let copy t =
-  { counts = Hashtbl.copy t.counts;
-    wildcard = Hashtbl.copy t.wildcard;
-    scoped = Hashtbl.copy t.scoped;
-    sel_scoped = Hashtbl.copy t.sel_scoped }
+  { counts = t.counts;
+    wildcard = t.wildcard;
+    scoped = t.scoped;
+    sel_scoped = t.sel_scoped }
 
-let set_count t mask c = Hashtbl.replace t.counts mask c
-let count t mask = Hashtbl.find_opt t.counts mask
+let set_count t mask c = t.counts <- IntMap.add (mask : Relset.t) c t.counts
+let count t mask = IntMap.find_opt (mask : Relset.t) t.counts
 
 let set_distinct t ~term ~scope d =
   match scope with
-  | Wildcard -> Hashtbl.replace t.wildcard term d
-  | For_pred p -> Hashtbl.replace t.scoped (term, p) d
-  | For_select -> Hashtbl.replace t.sel_scoped term d
+  | Wildcard -> t.wildcard <- IntMap.add term d t.wildcard
+  | For_pred p -> t.scoped <- PairMap.add (term, p) d t.scoped
+  | For_select -> t.sel_scoped <- IntMap.add term d t.sel_scoped
 
 let distinct t ~term ~pred =
-  match Hashtbl.find_opt t.wildcard term with
+  match IntMap.find_opt term t.wildcard with
   | Some d -> Some d
   | None -> (
     match pred with
-    | Some p -> Hashtbl.find_opt t.scoped (term, p)
-    | None -> Hashtbl.find_opt t.sel_scoped term)
+    | Some p -> PairMap.find_opt (term, p) t.scoped
+    | None -> IntMap.find_opt term t.sel_scoped)
 
-let has_measurement t ~term = Hashtbl.mem t.wildcard term
+let has_measurement t ~term = IntMap.mem term t.wildcard
 
-let counts t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+let counts t = IntMap.fold (fun k v acc -> (k, v) :: acc) t.counts []
 
 let distincts t =
-  Hashtbl.fold (fun k v acc -> (k, Wildcard, v) :: acc) t.wildcard []
-  @ Hashtbl.fold (fun (tm, p) v acc -> (tm, For_pred p, v) :: acc) t.scoped []
-  @ Hashtbl.fold (fun tm v acc -> (tm, For_select, v) :: acc) t.sel_scoped []
+  IntMap.fold (fun k v acc -> (k, Wildcard, v) :: acc) t.wildcard []
+  @ PairMap.fold (fun (tm, p) v acc -> (tm, For_pred p, v) :: acc) t.scoped []
+  @ IntMap.fold (fun tm v acc -> (tm, For_select, v) :: acc) t.sel_scoped []
 
 let size t =
-  Hashtbl.length t.counts + Hashtbl.length t.wildcard + Hashtbl.length t.scoped
-  + Hashtbl.length t.sel_scoped
+  IntMap.cardinal t.counts + IntMap.cardinal t.wildcard
+  + PairMap.cardinal t.scoped
+  + IntMap.cardinal t.sel_scoped

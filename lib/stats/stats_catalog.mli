@@ -8,8 +8,10 @@
       answers every predicate context; a value *assumed* while generating a
       transition is scoped to the predicate it was sampled for.
 
-    The catalog is a small persistent-by-copy structure: MCTS clones it at
-    every stochastic transition. *)
+    The catalog is persistent under the hood (balanced maps behind mutable
+    roots), so {!copy} is O(1) and clones share structure: MCTS clones the
+    catalog at every stochastic transition, thousands of times per
+    planning step. *)
 
 open Monsoon_relalg
 

@@ -25,5 +25,27 @@ val fold : ('a -> row -> 'a) -> 'a -> t -> 'a
 val column_values : t -> string -> Value.t array
 (** All values of one column, in row order. *)
 
+val column : t -> string -> Column.t
+(** Typed columnar view of one column, materialized through the shared
+    {!Column.of_values} path on first access and cached until the next
+    {!append}. *)
+
+val column_at : t -> int -> Column.t
+(** {!column} by schema slot. *)
+
+val prime_columns : t -> unit
+(** Materialize every column eagerly (through the same shared path the
+    lazy accessors use). Workload generators call this once after filling
+    a table, so query execution never pays first-touch gathering. *)
+
+val int_column : t -> string -> Column.ints option
+(** The unboxed int vector of an int-typed column, or [None] when the
+    column demoted to a boxed fallback (Nulls, schema disagreement). *)
+
+val float_column : t -> string -> Column.floats option
+
+val string_dict_column : t -> string -> (Column.ints * string array) option
+(** Dictionary codes plus the decoded dictionary, in code order. *)
+
 val distinct_exact : t -> string -> int
 (** Exact distinct count of a column (test/baseline oracle). *)

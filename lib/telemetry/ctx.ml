@@ -39,3 +39,14 @@ let with_span t ?attrs name f =
 
 let record t event = Recorder.record t.recorder event
 let flush t = Span.flush (Span.sink t.tracer)
+
+(* Env packing: the util layer owns the extensible slot, this layer owns
+   the only constructor. [of_env] on an unpacked env is the Null context —
+   the same default every entry point used to apply to a missing [?ctx]. *)
+type Monsoon_util.Env.ctx += Packed of t
+
+let to_env ?(env = Monsoon_util.Env.default) t =
+  Monsoon_util.Env.with_ctx env (Packed t)
+
+let of_env (env : Monsoon_util.Env.t) =
+  match env.Monsoon_util.Env.ctx with Packed t -> t | _ -> null ()

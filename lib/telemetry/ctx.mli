@@ -3,7 +3,8 @@
     {!Recorder.t}.
 
     Every instrumented entry point ([Executor.create], [Mcts.plan],
-    [Driver.run], [Runner.run_suite], …) takes a single optional [?ctx];
+    [Driver.run], [Runner.run_suite], …) takes a single optional
+    [?env:Monsoon_util.Env.t] carrying a context packed via {!to_env};
     omitting it gets a fresh Null-sink, null-recorder context, so
     uninstrumented callers keep working and pay only counter updates.
     There is exactly one way to ask for observability — no separate
@@ -62,3 +63,20 @@ val flush : t -> unit
     lines to the OS. The driver calls this when a query finishes and the
     {!Monitor} on every sampler tick, so `tail -f` on a trace file tracks
     a long run instead of seeing everything at exit. *)
+
+(** {2 Execution environments}
+
+    [Monsoon_util.Env.t] is how contexts travel: engine entry points take
+    one [?env] instead of a [?ctx]/[?fault]/[?deadline] triple. The
+    telemetry slot of an env is an extensible variant owned by the util
+    layer; these two functions are its only constructor and destructor. *)
+
+type Monsoon_util.Env.ctx += Packed of t
+
+val to_env : ?env:Monsoon_util.Env.t -> t -> Monsoon_util.Env.t
+(** [to_env t] is {!Monsoon_util.Env.default} carrying [t]; pass [?env] to
+    set the slot on an existing environment instead. *)
+
+val of_env : Monsoon_util.Env.t -> t
+(** The packed context, or {!null} for an unpacked slot — the same default
+    a missing [?ctx] used to get. *)

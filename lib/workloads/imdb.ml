@@ -126,6 +126,7 @@ let generate cfg =
     (table "movie_keyword" [ ("movie_id", Value.TInt); ("keyword_id", Value.TInt) ] n_mk
        (fun _ ->
          [| ic (movie_ref_permuted ()); ic (Dist.zipf_draw rng kw_ref) |]));
+  List.iter Table.prime_columns (Catalog.tables cat);
   cat
 
 (* --- JOB-style query suite --- *)

@@ -29,6 +29,7 @@ let generate cfg =
       in
       Catalog.add cat (Table.of_row_array ~name:(table_name i) schema rows))
     table_sizes;
+  List.iter Table.prime_columns (Catalog.tables cat);
   cat
 
 (* One torture query: a chain over [tables] (indices into the six OTT

@@ -116,6 +116,7 @@ let generate cfg =
        (fun _ ->
          [| ic (l_order ()); ic (l_part ()); ic (l_supp ()); ic (l_qty ());
             Value.Date (10_000 + l_ship ()); ic (l_disc ()); ic (l_flag ()) |]));
+  List.iter Table.prime_columns (Catalog.tables cat);
   cat
 
 (* --- Query suite --- *)

@@ -1,0 +1,284 @@
+(* Old-vs-new engine equivalence: the vectorized columnar {!Executor}
+   against the frozen row-at-a-time {!Row_engine}, over an identical
+   sequence of EXECUTE steps per (workload, query, plan, budget,
+   environment) cell. Everything observable must be bit-identical: charged
+   cost, [stat_obs] (counts, distincts, stats_cost, obs_nodes in completion
+   order), result rows, total produced, Σ objects, remaining budget, and
+   which exception (Timeout / fault / deadline) ends a step. *)
+
+open Monsoon_util
+open Monsoon_storage
+open Monsoon_relalg
+open Monsoon_workloads
+module E = Monsoon_exec.Executor
+module R = Monsoon_exec.Row_engine
+
+(* One fingerprint string per step: hex floats are bit-exact, Expr.key is
+   shape-exact, and string equality gives readable Alcotest diffs. *)
+let fp_counts cs =
+  String.concat ","
+    (List.map (fun (m, c) -> Printf.sprintf "%d=%h" (m : Relset.t) c) cs)
+
+let fp_distincts ds =
+  String.concat ","
+    (List.map (fun (tm, d) -> Printf.sprintf "%d=%h" tm d) ds)
+
+let fp_nodes ns =
+  String.concat ","
+    (List.map (fun (e, c) -> Printf.sprintf "%s=%h" (Expr.key e) c) ns)
+
+let fp_rows rows =
+  (* Cardinality plus a content hash: full row dumps would drown the diff. *)
+  Printf.sprintf "%d#%Lx" (Array.length rows)
+    (Array.fold_left
+       (fun acc row ->
+         Array.fold_left
+           (fun acc v -> Hashing.combine acc (Value.hash v))
+           (Hashing.combine acc 17L) row)
+       0L rows)
+
+let run_new ?env cat q ~budget exprs =
+  let bud = E.budget budget in
+  let exec = E.create ?env cat q bud in
+  let steps =
+    List.map
+      (fun e ->
+        match E.execute exec e with
+        | cost, obs ->
+          Printf.sprintf "cost=%h counts=[%s] dist=[%s] sc=%h nodes=[%s] rows=%s"
+            cost
+            (fp_counts obs.E.obs_counts)
+            (fp_distincts obs.E.obs_distincts)
+            obs.E.obs_stats_cost
+            (fp_nodes obs.E.obs_nodes)
+            (fp_rows (E.result_rows exec e))
+        | exception E.Timeout -> "timeout"
+        | exception Fault.Injected reason -> "fault:" ^ reason
+        | exception Deadline.Expired -> "deadline")
+      exprs
+  in
+  Printf.sprintf "%s | produced=%h sigma=%h left=%h"
+    (String.concat " ; " steps)
+    (E.total_produced exec) (E.sigma_objects exec) bud.E.remaining
+
+let run_old ?env cat q ~budget exprs =
+  let bud = R.budget budget in
+  let exec = R.create ?env cat q bud in
+  let steps =
+    List.map
+      (fun e ->
+        match R.execute exec e with
+        | cost, obs ->
+          Printf.sprintf "cost=%h counts=[%s] dist=[%s] sc=%h nodes=[%s] rows=%s"
+            cost
+            (fp_counts obs.R.obs_counts)
+            (fp_distincts obs.R.obs_distincts)
+            obs.R.obs_stats_cost
+            (fp_nodes obs.R.obs_nodes)
+            (fp_rows (R.result_rows exec e))
+        | exception R.Timeout -> "timeout"
+        | exception Fault.Injected reason -> "fault:" ^ reason
+        | exception Deadline.Expired -> "deadline")
+      exprs
+  in
+  Printf.sprintf "%s | produced=%h sigma=%h left=%h"
+    (String.concat " ; " steps)
+    (R.total_produced exec) (R.sigma_objects exec) bud.R.remaining
+
+let check_cell ~label ?env_new ?env_old cat q ~budget exprs =
+  Alcotest.(check string)
+    label
+    (run_old ?env:env_old cat q ~budget exprs)
+    (run_new ?env:env_new cat q ~budget exprs)
+
+(* Step sequences per query: a Σ pass on a base, a join prefix (later
+   reused from cache), the full left-deep plan, the full plan again (pure
+   cache hit), then Σ on the now-cached prefix, then the reversed join
+   order (distinct shape, same final mask). *)
+let step_sequences q =
+  let n = Query.n_rels q in
+  let left_deep order =
+    List.fold_left
+      (fun acc i -> Expr.join acc (Expr.base i))
+      (Expr.base (List.hd order))
+      (List.tl order)
+  in
+  let fwd = List.init n Fun.id in
+  let rev = List.rev fwd in
+  if n = 1 then [ [ Expr.stats (Expr.base 0); Expr.base 0 ] ]
+  else begin
+    let prefix = left_deep (List.filteri (fun i _ -> i < 2) fwd) in
+    [ [ Expr.stats (Expr.base 0);
+        prefix;
+        left_deep fwd;
+        left_deep fwd;
+        Expr.stats prefix;
+        left_deep rev ] ]
+  end
+
+let check_workload ?(budget = 1e7) ?(queries = max_int) (w : Workload.t) =
+  List.iteri
+    (fun i (name, q) ->
+      if i < queries then
+        List.iter
+          (fun exprs ->
+            check_cell
+              ~label:(Printf.sprintf "%s/%s" w.Workload.name name)
+              w.Workload.catalog q ~budget exprs)
+          (step_sequences q))
+    w.Workload.queries
+
+let test_tpch () =
+  check_workload ~queries:4
+    (Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain })
+
+let test_tpch_skewed () =
+  check_workload ~queries:3
+    (Tpch.workload { Tpch.seed = 12; scale = 0.05; skew = Tpch.High })
+
+let test_ott () =
+  check_workload ~queries:3
+    (Ott.workload { Ott.seed = 13; scale = 0.2; domain = 40 })
+
+let test_imdb () =
+  check_workload ~queries:3
+    (Imdb.workload { Imdb.seed = 14; scale = 0.05 })
+
+(* Opaque (non-identity) UDF terms force the scalar fallback inside the
+   vectorized engine; the fallback must still match the frozen engine. *)
+let test_udf_bench () =
+  check_workload ~queries:2
+    (Udf_bench.workload
+       { Udf_bench.seed = 15; imdb_scale = 0.04; tpch_scale = 0.04 })
+
+(* Hostile value semantics: NaN / -0. float join keys, dictionary string
+   keys, and a Null-poisoned int column (demoted to the boxed fallback). *)
+let tricky_fixture () =
+  let cat = Catalog.create () in
+  let fvals = [| 1.5; Float.nan; -0.0; 0.0; 2.5; Float.nan; 1.5 |] in
+  let svals = [| "ash"; "birch"; "cedar" |] in
+  let mk name n offset =
+    let schema =
+      Schema.make
+        [ { Schema.name = "f"; ty = Value.TFloat };
+          { Schema.name = "s"; ty = Value.TStr };
+          { Schema.name = "n"; ty = Value.TInt } ]
+    in
+    Table.of_row_array ~name schema
+      (Array.init n (fun i ->
+           [| Value.Float fvals.((i + offset) mod Array.length fvals);
+              Value.Str svals.((i + offset) mod Array.length svals);
+              (if (i + offset) mod 7 = 0 then Value.Null else Value.Int (i mod 5))
+           |]))
+  in
+  Catalog.add cat (mk "A" 60 0);
+  Catalog.add cat (mk "B" 45 3);
+  cat
+
+let tricky_query ~on ~select =
+  let b = Query.Builder.create ~name:(Printf.sprintf "tricky-%s" on) in
+  let a = Query.Builder.rel b ~table:"A" ~alias:"A" in
+  let c = Query.Builder.rel b ~table:"B" ~alias:"B" in
+  let ta = Query.Builder.term b (Udf.identity on) [ (a, on) ] in
+  let tb = Query.Builder.term b (Udf.identity on) [ (c, on) ] in
+  Query.Builder.join_pred b ta tb;
+  (match select with
+  | Some (col, v) ->
+    let ts = Query.Builder.term b (Udf.identity col) [ (a, col) ] in
+    Query.Builder.select_pred b ts v
+  | None -> ());
+  Query.Builder.build b
+
+let test_tricky_values () =
+  let cat = tricky_fixture () in
+  List.iter
+    (fun (on, select) ->
+      let q = tricky_query ~on ~select in
+      let full = Expr.join (Expr.base 0) (Expr.base 1) in
+      check_cell
+        ~label:("tricky join on " ^ on)
+        cat q ~budget:1e7
+        [ Expr.stats (Expr.base 0); Expr.stats (Expr.base 1); full ])
+    [ ("f", None);
+      ("s", None);
+      ("n", None);
+      ("f", Some ("s", Value.Str "birch"));
+      ("s", Some ("n", Value.Int 2));
+      ("n", Some ("f", Value.Float Float.nan)) ]
+
+(* No connecting predicate: the cross-product path. *)
+let test_cross_product () =
+  let cat = tricky_fixture () in
+  let b = Query.Builder.create ~name:"cross" in
+  let a = Query.Builder.rel b ~table:"A" ~alias:"A" in
+  let _ = Query.Builder.rel b ~table:"B" ~alias:"B" in
+  let ts = Query.Builder.term b (Udf.identity "s") [ (a, "s") ] in
+  Query.Builder.select_pred b ts (Value.Str "ash");
+  let q = Query.Builder.build b in
+  check_cell ~label:"cross product" cat q ~budget:1e7
+    [ Expr.join (Expr.base 0) (Expr.base 1) ]
+
+(* Budget exhaustion: both engines must stop at exactly the same emitted
+   tuple, leaving identical produced totals and remaining budgets. *)
+let test_budget_timeout_parity () =
+  let w = Tpch.workload { Tpch.seed = 16; scale = 0.05; skew = Tpch.Plain } in
+  List.iter
+    (fun budget ->
+      List.iteri
+        (fun i (name, q) ->
+          if i < 3 then
+            List.iter
+              (fun exprs ->
+                check_cell
+                  ~label:(Printf.sprintf "timeout %s @%g" name budget)
+                  w.Workload.catalog q ~budget exprs)
+              (step_sequences q))
+        w.Workload.queries)
+    [ 50.0; 400.0; 3_000.0 ]
+
+(* Fault checkpoints: same spec + same seed must fire at the same draw in
+   both engines (an armed plan pins the new engine to the scalar path). *)
+let test_fault_parity () =
+  let w = Tpch.workload { Tpch.seed = 17; scale = 0.05; skew = Tpch.Plain } in
+  let name, q = List.hd w.Workload.queries in
+  List.iter
+    (fun (spec, seed) ->
+      let env_of () =
+        Env.with_fault Env.default (Fault.plan spec (Rng.create seed))
+      in
+      List.iter
+        (fun exprs ->
+          check_cell
+            ~label:(Printf.sprintf "fault %s %s" name (Fault.spec_to_string spec))
+            ~env_new:(env_of ()) ~env_old:(env_of ()) w.Workload.catalog q
+            ~budget:1e7 exprs)
+        (step_sequences q))
+    [ ({ Fault.no_faults with Fault.row_rate = 1.0 }, 5);
+      ({ Fault.no_faults with Fault.udf_rate = 2e-4 }, 6);
+      ({ Fault.no_faults with Fault.udf_rate = 1e-5; row_rate = 1e-5 }, 7);
+      (Fault.no_faults, 8) ]
+
+let test_deadline_parity () =
+  let w = Tpch.workload { Tpch.seed = 18; scale = 0.05; skew = Tpch.Plain } in
+  let _, q = List.hd w.Workload.queries in
+  let env () = Env.with_deadline Env.default (Deadline.after 0.0) in
+  List.iter
+    (fun exprs ->
+      check_cell ~label:"expired deadline" ~env_new:(env ()) ~env_old:(env ())
+        w.Workload.catalog q ~budget:1e7 exprs)
+    (step_sequences q)
+
+let () =
+  Alcotest.run "differential"
+    [ ( "engine equivalence",
+        [ Alcotest.test_case "tpch" `Quick test_tpch;
+          Alcotest.test_case "tpch skewed" `Quick test_tpch_skewed;
+          Alcotest.test_case "ott" `Quick test_ott;
+          Alcotest.test_case "imdb" `Quick test_imdb;
+          Alcotest.test_case "udf bench (opaque terms)" `Quick test_udf_bench;
+          Alcotest.test_case "tricky values" `Quick test_tricky_values;
+          Alcotest.test_case "cross product" `Quick test_cross_product ] );
+      ( "checkpoints",
+        [ Alcotest.test_case "budget timeout" `Quick test_budget_timeout_parity;
+          Alcotest.test_case "fault plans" `Quick test_fault_parity;
+          Alcotest.test_case "deadlines" `Quick test_deadline_parity ] ) ]

@@ -108,8 +108,9 @@ let test_strategy_deadline_times_out () =
   List.iter
     (fun (s : Strategy.t) ->
       let o =
-        s.Strategy.run ~deadline:(Deadline.after 0.0) ~rng:(Rng.create 1)
-          ~budget:1e6 w.Workload.catalog q
+        s.Strategy.run
+          ~env:(Env.with_deadline Env.default (Deadline.after 0.0))
+          ~rng:(Rng.create 1) ~budget:1e6 w.Workload.catalog q
       in
       Alcotest.(check bool) (s.Strategy.name ^ " timed out") true
         o.Strategy.timed_out)
@@ -198,7 +199,10 @@ let test_rate_zero_plan_is_byte_identical () =
   let w = small_tpch () in
   let run faults =
     let tel = Ctx.null () in
-    let rows = Runner.run_suite ~ctx:tel (suite_config ?faults ()) (suite_strategies ()) w in
+    let rows =
+      Runner.run_suite ~env:(Ctx.to_env tel) (suite_config ?faults ())
+        (suite_strategies ()) w
+    in
     let injected =
       Metric.Counter.value (Ctx.counter tel "fault.injected")
     in
@@ -232,7 +236,7 @@ let test_retry_then_quarantine () =
   let w = small_tpch () in
   let tel = Ctx.null () in
   let rows =
-    Runner.run_suite ~ctx:tel
+    Runner.run_suite ~env:(Ctx.to_env tel)
       { (suite_config ()) with
         Runner.queries = Some [ "tq1" ];
         faults = Some { Fault.no_faults with Fault.row_rate = 1.0 };
@@ -274,8 +278,9 @@ let test_degraded_execution () =
       Fault.plan { Fault.no_faults with Fault.udf_rate = 5e-4 } (Rng.create seed)
     in
     match
-      monsoon.Strategy.run ~ctx:tel ~fault ~rng:(Rng.create seed) ~budget:1e7
-        w.Workload.catalog q
+      monsoon.Strategy.run
+        ~env:(Env.with_fault (Ctx.to_env tel) fault)
+        ~rng:(Rng.create seed) ~budget:1e7 w.Workload.catalog q
     with
     | exception Fault.Injected _ -> None (* fault outside EXECUTE: retry path *)
     | o when o.Strategy.degraded > 0 -> Some (o, recorder, tel)
@@ -328,8 +333,9 @@ let test_mcts_deadline_early_exit () =
   in
   let t0 = Timer.now () in
   let o =
-    monsoon.Strategy.run ~deadline:(Deadline.after 0.05) ~rng:(Rng.create 3)
-      ~budget:1e7 w.Workload.catalog q
+    monsoon.Strategy.run
+      ~env:(Env.with_deadline Env.default (Deadline.after 0.05))
+      ~rng:(Rng.create 3) ~budget:1e7 w.Workload.catalog q
   in
   Alcotest.(check bool) "timed out cooperatively" true o.Strategy.timed_out;
   Alcotest.(check bool) "did not run the full 100k-iteration search" true

@@ -311,8 +311,82 @@ let test_runner_qlog_differential () =
        List.sort_uniq compare
          (List.map (fun r -> r.Qlog.r_trace) records)
      in
-     Alcotest.(check int) "trace ids distinct" 4 (List.length traces));
+     Alcotest.(check int) "trace ids distinct" 4 (List.length traces);
+     (* Golden plan summaries: trace ids and rendered plans are pinned, so
+        a change in execution order, trace derivation, or the executor's
+        observable behavior (the Monsoon plans depend on the Σ estimates
+        the executor feeds back) shows up as a byte diff here. *)
+     let golden =
+       [ ("r-15ed350a", "Defaults", "tq1", "(c \xe2\xa8\x9d (o \xe2\xa8\x9d l))");
+         ("r-3c231c69", "Defaults", "tq2",
+          "(l \xe2\xa8\x9d (o \xe2\xa8\x9d (c \xe2\xa8\x9d n)))");
+         ("r-22d414e0", "Monsoon", "tq1",
+          "plan \xce\xa3(o) | plan c \xe2\xa8\x9d o | EXECUTE | plan [c,o] \
+           \xe2\xa8\x9d l | EXECUTE");
+         ("r-1e38d398", "Monsoon", "tq2",
+          "plan \xce\xa3(c) | plan c \xe2\xa8\x9d o | attach n \xe2\xa8\x9d (c \
+           \xe2\xa8\x9d o) | wrap \xce\xa3(((c \xe2\xa8\x9d o) \xe2\xa8\x9d \
+           n)) | EXECUTE | plan l \xe2\xa8\x9d [c,o,n] | EXECUTE") ]
+     in
+     Alcotest.(check (list (pair (pair string string) (pair string string))))
+       "golden plan summaries"
+       (List.map (fun (a, b, c, d) -> ((a, b), (c, d))) golden)
+       (List.map
+          (fun r ->
+            ((r.Qlog.r_trace, r.Qlog.r_strategy), (r.Qlog.r_query, r.Qlog.r_plan)))
+          records));
   Sys.remove path
+
+(* The rendered EXPLAIN plan tables list nodes in obs_nodes completion
+   order; pin one deterministic run's tables verbatim so any executor
+   change to completion order or observed cardinalities is a visible
+   diff. *)
+let test_explain_plan_tables_golden () =
+  let open Monsoon_core in
+  let w = Tpch.workload { Tpch.seed = 11; scale = 0.05; skew = Tpch.Plain } in
+  let q = Workload.find_query w "tq1" in
+  let rng = Runner.cell_rng ~seed:11 ~strategy:"Monsoon" ~query:"tq1" in
+  let mcts =
+    { (Monsoon_mcts.Mcts.default_config ~rng) with
+      Monsoon_mcts.Mcts.iterations = 60 }
+  in
+  let config =
+    { Driver.prior = Monsoon_stats.Prior.spike_and_slab;
+      prior_of = None;
+      known_distincts = [];
+      mcts;
+      mcts_workers = 1;
+      budget = 1e6;
+      max_steps = 200 }
+  in
+  let recorder = Recorder.create () in
+  let _ =
+    Driver.run
+      ~env:(Ctx.to_env (Ctx.with_recorder (Ctx.null ()) recorder))
+      config w.Workload.catalog q
+  in
+  let report = Explain.report ~trace:"golden" recorder in
+  let step2 =
+    "EXECUTE at step 2 (cost 171)\n\
+    \  Plan node  Predicted  Observed  Q-error\n\
+    \  ---------  ---------  --------  -------\n\
+    \  (c \xe2\xa8\x9d o)  5.86204    20        3.41   \n\
+    \    c        1.46375    10        6.83   \n\
+    \    o        5.1126     151       29.53  \n\
+    \  o          5.1126     151       29.53  \n"
+  in
+  let step4 =
+    "EXECUTE at step 4 (cost 0)\n\
+    \  Plan node      Predicted  Observed  Q-error\n\
+    \  -------------  ---------  --------  -------\n\
+    \  ([c,o] \xe2\xa8\x9d l)  3000       84        35.71  \n\
+    \    [c,o]        -          20        -      \n\
+    \    l            3000       3000      1.00   \n"
+  in
+  Alcotest.(check bool) "step-2 plan table renders identically" true
+    (contains report step2);
+  Alcotest.(check bool) "step-4 plan table renders identically" true
+    (contains report step4)
 
 let () =
   Alcotest.run "qlog"
@@ -337,4 +411,6 @@ let () =
             test_trace_correlation ] );
       ( "runner",
         [ Alcotest.test_case "audited run is byte-identical" `Quick
-            test_runner_qlog_differential ] ) ]
+            test_runner_qlog_differential;
+          Alcotest.test_case "explain plan tables golden" `Quick
+            test_explain_plan_tables_golden ] ) ]

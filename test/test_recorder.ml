@@ -22,7 +22,7 @@ let recorded_run ~seed =
   let tel = Ctx.create ~sink:Span.Null () in
   let recorder = Recorder.create () in
   let outcome =
-    Driver.run ~ctx:(Ctx.with_recorder tel recorder) config cat q
+    Driver.run ~env:(Ctx.to_env (Ctx.with_recorder tel recorder)) config cat q
   in
   (outcome, recorder, tel)
 

@@ -19,10 +19,10 @@ let gauge_value ctx name = Metric.Gauge.value (Ctx.gauge ctx name)
 let test_admission_basics () =
   let ctx = Ctx.null () in
   let a = Admission.create ~ctx ~max_concurrent:2 ~queue_bound:1 () in
-  (match Admission.admit a with
+  (match Admission.admit ~deadline:Deadline.none a with
   | Admission.Admitted w -> Alcotest.(check (float 0.0)) "no wait" 0.0 w
   | _ -> Alcotest.fail "first admit should be immediate");
-  (match Admission.admit a with
+  (match Admission.admit ~deadline:Deadline.none a with
   | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "second admit should be immediate");
   Alcotest.(check int) "in flight" 2 (Admission.in_flight a);
@@ -30,7 +30,7 @@ let test_admission_basics () =
     (gauge_value ctx "server.in_flight");
   (* Third request queues; it lands once a slot frees. *)
   let third = ref None in
-  let th = Thread.create (fun () -> third := Some (Admission.admit a)) () in
+  let th = Thread.create (fun () -> third := Some (Admission.admit ~deadline:Deadline.none a)) () in
   let rec wait_queued n =
     if Admission.queued a < 1 && n > 0 then begin
       Thread.delay 0.005;
@@ -42,7 +42,7 @@ let test_admission_basics () =
   Alcotest.(check (float 0.0)) "queue-depth gauge" 1.0
     (gauge_value ctx "server.queue_depth");
   (* Fourth request finds the queue at its bound. *)
-  (match Admission.admit a with
+  (match Admission.admit ~deadline:Deadline.none a with
   | Admission.Rejected -> ()
   | _ -> Alcotest.fail "queue full should reject");
   Admission.release a;
@@ -59,13 +59,13 @@ let test_admission_basics () =
     (gauge_value ctx "server.queue_depth");
   Alcotest.(check (float 0.0)) "in-flight gauge drained" 0.0
     (gauge_value ctx "server.in_flight");
-  match Admission.admit a with
+  match Admission.admit ~deadline:Deadline.none a with
   | Admission.Closed -> ()
   | _ -> Alcotest.fail "admit after drain should be Closed"
 
 let test_admission_deadline () =
   let a = Admission.create ~max_concurrent:1 ~queue_bound:4 () in
-  (match Admission.admit a with
+  (match Admission.admit ~deadline:Deadline.none a with
   | Admission.Admitted _ -> ()
   | _ -> Alcotest.fail "first admit");
   (* Deadline already expired on entry: no queueing. *)
@@ -84,7 +84,7 @@ let test_admission_deadline () =
       ()
   in
   Thread.delay 0.05;
-  let t2 = Thread.create (fun () -> second := Some (Admission.admit a)) () in
+  let t2 = Thread.create (fun () -> second := Some (Admission.admit ~deadline:Deadline.none a)) () in
   Thread.delay 0.05;
   Admission.release a;
   Thread.join t1;
@@ -198,7 +198,7 @@ let test_slo_zero_observations () =
 
 (* --- the server core, on a synthetic handler --- *)
 
-let synthetic_handler ~id:_ ~rng:_ ~deadline:_ ~recorder ~trace:_ qname =
+let synthetic_handler ~id:_ ~rng:_ ~env:_ ~recorder ~trace:_ qname =
   let ok = { Server.x_cost = 1.0; x_timed_out = false; x_degraded = false; x_plan = "p" } in
   match qname with
   | "fast" -> Ok ok
@@ -225,7 +225,7 @@ let synthetic_handler ~id:_ ~rng:_ ~deadline:_ ~recorder ~trace:_ qname =
   | other -> Error (`Unknown_query (Printf.sprintf "unknown query %S" other))
 
 let make_server ?(ctx = Ctx.null ()) ?(config = Server.default_config) () =
-  Server.create ~ctx
+  Server.create ~env:(Ctx.to_env ctx)
     ~queries:[ "fast"; "slow"; "note"; "degraded" ]
     config synthetic_handler
 

@@ -357,7 +357,7 @@ let test_driver_breakdown () =
         { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 3)) with
           Monsoon_mcts.Mcts.iterations = 150 } }
   in
-  let out = Driver.run ~ctx:tel config w.Workload.catalog q in
+  let out = Driver.run ~env:(Ctx.to_env tel) config w.Workload.catalog q in
   Alcotest.(check bool) "completes" false out.Driver.timed_out;
   let comps = Snapshot.breakdown (Span.buffer_spans buf) in
   let comp name = Snapshot.component name comps in
