@@ -214,6 +214,31 @@ let tests =
         (Staged.stage (exec_columnar exec_scan_q (Expr.stats (Expr.base 0))));
       Test.make ~name:"exec/sigma-row"
         (Staged.stage (exec_row exec_scan_q (Expr.stats (Expr.base 0))));
+      (* Operator profiling: the enabled collector prices the per-node
+         scratch writes against the plain join kernel above; the disabled
+         mutators must be a single load-and-branch, like the Null sinks
+         (the plain exec/* kernels above are the disabled-profile gate). *)
+      Test.make ~name:"exec/hash-join-columnar-profiled"
+        (Staged.stage (fun () ->
+             let prof = Monsoon_exec.Profile.create () in
+             let exec =
+               Monsoon_exec.Executor.create
+                 ~env:(Monsoon_exec.Profile.to_env prof)
+                 exec_cat exec_join_q
+                 (Monsoon_exec.Executor.budget 1e7)
+             in
+             ignore
+               (Monsoon_exec.Executor.execute exec
+                  (Expr.join (Expr.base 0) (Expr.base 1)))));
+      Test.make ~name:"profile/disabled-noop-x100"
+        (Staged.stage
+           (let p = Monsoon_exec.Profile.disabled in
+            fun () ->
+              for i = 1 to 100 do
+                Monsoon_exec.Profile.set_path p "x";
+                Monsoon_exec.Profile.add_batches p i;
+                Monsoon_exec.Profile.set_input p ~rows:1.0 ~denom:1.0
+              done));
       (* Telemetry overhead: the same executor kernel as table6, with spans
          actually retained — against the Null-sink default above. *)
       Test.make ~name:"table6/ott-expert-plan-execution-traced"
@@ -499,6 +524,55 @@ let write_results_json ~jobs rows speedup overhead =
   Printf.printf "  (wrote %d kernel results + suite speedup to %s)\n\n"
     (List.length rows) bench_results_file
 
+(* `bench --append-history FILE` (or MONSOON_BENCH_HISTORY=FILE) appends
+   one JSONL line per run — commit sha, unix timestamp, jobs, and every
+   kernel's ns/op — so CI accumulates a cross-commit performance history
+   (BENCH_HISTORY.jsonl) next to the single-run BENCH_results.json. *)
+let history_path () =
+  let from_argv =
+    let rec scan = function
+      | "--append-history" :: v :: _ -> Some v
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    scan (Array.to_list Sys.argv)
+  in
+  match from_argv with
+  | Some _ as p -> p
+  | None -> Sys.getenv_opt "MONSOON_BENCH_HISTORY"
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception Unix.Unix_error _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+
+let append_history path ~jobs rows =
+  let entry (name, ns) =
+    (name, if Float.is_nan ns then Json.Null else Json.Num ns)
+  in
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("sha", Json.Str (git_sha ()));
+           ("timestamp", Json.Num (Unix.time ()));
+           ("jobs", Json.Num (float_of_int jobs));
+           ("kernels_ns_per_op", Json.Obj (List.map entry rows)) ])
+  in
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | exception Sys_error msg ->
+    Printf.eprintf "bench: --append-history %s: %s\n" path msg
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n');
+    Printf.printf "  (appended kernel history line to %s)\n\n" path
+
 let run_microbenchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -622,6 +696,7 @@ let () =
     | None -> "n/a")
     overhead.so_samples;
   write_results_json ~jobs kernel_rows speedup overhead;
+  Option.iter (fun p -> append_history p ~jobs kernel_rows) (history_path ());
   let profile = { (profile ()) with Experiments.jobs } in
   let monitor =
     match serve_port () with

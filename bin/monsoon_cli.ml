@@ -144,8 +144,8 @@ let with_telemetry ~trace ~trace_format ~keep ~serve ~interval ~watch f =
 (* Run one query under the flight recorder, print the explain report, and
    honor the optional DOT / JSON export destinations. Shared by `explain'
    and `experiment --explain'. *)
-let run_explain profile ~experiment ~query ~dot ~json =
-  match Experiments.explain profile ~experiment ~query with
+let run_explain ?(op_profile = false) profile ~experiment ~query ~dot ~json =
+  match Experiments.explain ~op_profile profile ~experiment ~query with
   | Error _ as e -> e
   | Ok recorder ->
     print_string (Explain.report recorder);
@@ -383,13 +383,25 @@ let explain_cmd =
   let query_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
   in
-  let run quick dot json experiment query =
+  let op_profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach an execution profile collector: the report's plan \
+             tables gain per-operator rows — time share, rows in/out, \
+             selectivity, column-representation mix, and whether the \
+             fused or scalar path ran. Off by default; profiling only \
+             reads, so the run's decisions and costs are unchanged.")
+  in
+  let run quick dot json op_profile experiment query =
     let profile = profile_of_flag quick in
-    run_explain profile ~experiment ~query ~dot ~json
+    run_explain ~op_profile profile ~experiment ~query ~dot ~json
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
-      const run $ quick_flag $ dot_arg $ json_arg $ experiment_arg $ query_arg)
+      const run $ quick_flag $ dot_arg $ json_arg $ op_profile_arg
+      $ experiment_arg $ query_arg)
 
 (* Shared by chaos / serve / load: open the audit log (when asked for),
    run the body, and close it even on error paths. *)
@@ -913,6 +925,17 @@ let qlog_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Rows in the slowest / worst-misestimate rankings.")
   in
+  let top_nodes_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "top-nodes" ] ~docv:"K"
+          ~doc:
+            "Also print the $(docv) hottest operators by total wall time, \
+             aggregated from the per-node profiles of profiled records \
+             (runs under an execution profile collector). 0 (the default) \
+             omits the table.")
+  in
   let threshold_arg =
     Arg.(
       value
@@ -922,13 +945,21 @@ let qlog_cmd =
             "Mean-cost growth ratio above which a class counts as \
              regressed (default 1.1 = +10%).")
   in
-  let run diff top threshold file =
+  let run diff top top_nodes threshold file =
     match Qlog.load file with
     | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
     | Ok records -> (
       match diff with
       | None ->
         print_string (Qlog.report ~top records);
+        if top_nodes > 0 then begin
+          match Qlog.top_nodes ~top:top_nodes records with
+          | "" ->
+            print_string
+              "\nNo operator profiles in this log (run under a profile \
+               collector to record them).\n"
+          | tbl -> print_string ("\n" ^ tbl)
+        end;
         Ok ()
       | Some old_file -> (
         match Qlog.load old_file with
@@ -945,7 +976,9 @@ let qlog_cmd =
                  (if regressions = 1 then "" else "es"))))
   in
   Cmd.v (Cmd.info "qlog" ~doc)
-    Term.(const run $ diff_arg $ top_arg $ threshold_arg $ file_arg)
+    Term.(
+      const run $ diff_arg $ top_arg $ top_nodes_arg $ threshold_arg
+      $ file_arg)
 
 let demo_cmd =
   let doc =

@@ -72,10 +72,33 @@ let absorb_observations ~recorder ~step query stats (obs : Executor.stat_obs) =
    from the plan-time [Simulator.predict_counts] pass. A mask whose count
    was already measured at plan time has no prediction and hence no
    q-error. *)
-let exec_nodes query stats ~predictions ~obs_nodes expr =
+let exec_nodes query stats ~predictions ~obs_nodes ~profiles expr =
+  let profile_of e =
+    match List.find_opt (fun (e', _) -> Expr.equal e' e) profiles with
+    | Some (_, p) -> Some p
+    | None -> None
+  in
   let rec go depth e acc =
     match e with
-    | Expr.Stats inner -> go depth inner acc
+    | Expr.Stats inner ->
+      (* Σ passes take no part in the prediction/observation join, but a
+         profiled run still gets their operator row — without a profile
+         the walk stays exactly as before, so unprofiled records are
+         byte-identical to older ones. *)
+      let acc =
+        match profile_of e with
+        | None -> acc
+        | Some p ->
+          { Recorder.node_expr = Expr.describe query e;
+            node_mask = Expr.mask e;
+            node_depth = depth;
+            node_predicted = None;
+            node_observed = Some p.Recorder.p_rows_out;
+            node_q_error = None;
+            node_profile = Some p }
+          :: acc
+      in
+      go depth inner acc
     | Expr.Leaf _ | Expr.Join _ ->
       let m = Expr.mask e in
       let observed =
@@ -95,7 +118,8 @@ let exec_nodes query stats ~predictions ~obs_nodes expr =
           node_depth = depth;
           node_predicted = predicted;
           node_observed = observed;
-          node_q_error = q_error }
+          node_q_error = q_error;
+          node_profile = profile_of e }
       in
       let acc = node :: acc in
       (match e with
@@ -131,6 +155,16 @@ let run ?(env = Env.default) config catalog query =
   let t0 = Timer.now () in
   let ctx = Mdp.make_ctx catalog query in
   let exec = Executor.create ~env catalog query (Executor.budget config.budget) in
+  (* One batch of profile nodes per Executed event: drain picks up exactly
+     what the executor recorded since the previous drain, keyed by plan
+     expression for the [exec_nodes] join. With no packed collector the
+     drain is the empty list and every record stays byte-identical. *)
+  let prof = Executor.profile exec in
+  let drain_profiles () =
+    List.map
+      (fun (n : Profile.node) -> (n.Profile.n_expr, Profile.to_recorder n))
+      (Profile.drain prof)
+  in
   (* The cell deadline also bounds the planner, unless the caller already
      set a tighter one on the MCTS config itself. *)
   let mcts_cfg =
@@ -199,7 +233,8 @@ let run ?(env = Env.default) config catalog query =
              { step = 0;
                nodes =
                  exec_nodes query (Stats_catalog.create ()) ~predictions:[]
-                   ~obs_nodes:obs.Executor.obs_nodes (Expr.base 0);
+                   ~obs_nodes:obs.Executor.obs_nodes
+                   ~profiles:(drain_profiles ()) (Expr.base 0);
                cost = c;
                timed_out = false });
       finish ~timed_out:false (Mdp.init_state ctx)
@@ -293,17 +328,19 @@ let run ?(env = Env.default) config catalog query =
               (* Mid-plan death: nodes completed before the budget ran out
                  were already absorbed into S, so the catalog fallback in
                  [exec_nodes] still attributes their observed counts. *)
-              if Recorder.enabled recorder then
+              if Recorder.enabled recorder then begin
+                let profiles = drain_profiles () in
                 Recorder.record recorder
                   (Recorder.Executed
                      { step = steps;
                        nodes =
                          List.concat_map
                            (exec_nodes query state.Mdp.stats ~predictions
-                              ~obs_nodes:!all_obs_nodes)
+                              ~obs_nodes:!all_obs_nodes ~profiles)
                            state.Mdp.r_p;
                        cost = 0.0;
-                       timed_out = true });
+                       timed_out = true })
+              end;
               finish ~timed_out:true state
             | exception Deadline.Expired ->
               Recorder.record recorder
@@ -318,6 +355,10 @@ let run ?(env = Env.default) config catalog query =
                  retry the whole cell. *)
               Metric.Counter.inc c_degraded;
               incr run_degraded;
+              (* The aborted attempt's profile nodes have no Executed event
+                 to ride on; drop them so the degraded plan's event carries
+                 only its own operators. *)
+              ignore (Profile.drain prof);
               let fallback =
                 List.fold_left
                   (fun acc i -> Expr.join acc (Expr.base i))
@@ -362,16 +403,18 @@ let run ?(env = Env.default) config catalog query =
                        { step = steps;
                          nodes =
                            exec_nodes query state.Mdp.stats ~predictions
-                             ~obs_nodes:obs.Executor.obs_nodes fallback;
+                             ~obs_nodes:obs.Executor.obs_nodes
+                             ~profiles:(drain_profiles ()) fallback;
                          cost = c;
                          timed_out = false });
                 finish ~timed_out:false state)
             | c ->
               total_cost := !total_cost +. c;
+              let profiles = drain_profiles () in
               let nodes =
                 List.concat_map
                   (exec_nodes query state.Mdp.stats ~predictions
-                     ~obs_nodes:!all_obs_nodes)
+                     ~obs_nodes:!all_obs_nodes ~profiles)
                   state.Mdp.r_p
               in
               List.iter

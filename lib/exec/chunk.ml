@@ -201,7 +201,7 @@ let next_pow2 n =
    comparing the keys themselves, so hash choice affects buckets only.
    Returns [false] when the pair is not two int columns of the same kind
    (caller falls back to the generic loop). *)
-let join_ints (b : Column.t) (p : Column.t) emit =
+let join_ints ?on_index (b : Column.t) (p : Column.t) emit =
   match b, p with
   | Column.Ints { kind = kb; data = db }, Column.Ints { kind = kp; data = dp }
     when kb = kp ->
@@ -219,6 +219,9 @@ let join_ints (b : Column.t) (p : Column.t) emit =
       Array.unsafe_set next bi (Array.unsafe_get head h);
       Array.unsafe_set head h bi
     done;
+    (match on_index with
+    | Some f -> f ~head ~next
+    | None -> ());
     for pi = 0 to np - 1 do
       let k = Bigarray.Array1.unsafe_get dp pi in
       let x = k * 0x2545F4914F6CDD1D in

@@ -20,6 +20,9 @@ type counters = {
   m_sigma : Metric.Counter.t;  (* objects processed by Σ passes *)
   m_budget : Metric.Counter.t;  (* budget consumed *)
   m_fault : Metric.Counter.t;  (* injected faults that escaped [execute] *)
+  m_fused : Metric.Counter.t;  (* fused fast-path activations *)
+  m_scalar : Metric.Counter.t;  (* scalar (per-row) fallback activations *)
+  h_node : Metric.Histogram.t;  (* per-plan-node wall milliseconds *)
 }
 
 type t = {
@@ -33,6 +36,7 @@ type t = {
   fault : Fault.t;
   deadline : Deadline.t;
   tel : Ctx.t;
+  prof : Profile.t;
   m : counters;
 }
 
@@ -45,7 +49,10 @@ let create ?(env = Env.default) catalog query bud =
       m_emitted = Ctx.counter tel "exec.tuples_emitted";
       m_sigma = Ctx.counter tel "exec.sigma_objects";
       m_budget = Ctx.counter tel "exec.budget_spent";
-      m_fault = Ctx.counter tel "fault.injected" }
+      m_fault = Ctx.counter tel "fault.injected";
+      m_fused = Ctx.counter tel "exec.fused_ops";
+      m_scalar = Ctx.counter tel "exec.scalar_fallbacks";
+      h_node = Ctx.histogram tel "exec.node_ms" }
   in
   { catalog;
     query;
@@ -57,7 +64,10 @@ let create ?(env = Env.default) catalog query bud =
     fault = Env.fault env;
     deadline = Env.deadline env;
     tel;
+    prof = Profile.of_env env;
     m }
+
+let profile t = t.prof
 
 let set_budget t bud = t.bud <- bud
 
@@ -159,8 +169,14 @@ let scan_base t rel =
     if Fault.armed t.fault then Array.iter (fun _ -> Fault.row t.fault) raw;
     let inter0 = Intermediate.of_base t.query t.catalog ~rows:raw rel in
     let pids = Query.select_preds_of_rel t.query rel in
+    Profile.set_input t.prof
+      ~rows:(float_of_int (Array.length raw))
+      ~denom:(float_of_int (Array.length raw));
     let inter =
-      if pids = [] then inter0
+      if pids = [] then begin
+        Profile.set_path t.prof "raw";
+        inter0
+      end
       else begin
         let vectorized =
           if Fault.armed t.fault then None
@@ -169,6 +185,24 @@ let scan_base t rel =
             match vector_filters t inter0 chunk pids with
             | None -> None
             | Some preds ->
+              Profile.add_batches t.prof 1;
+              (* Representation mix of every predicate slot this scan
+                 touches; Chunk.column memoizes, so the profiled lookups
+                 just reread the cached views. *)
+              if Profile.live t.prof then
+                List.iter
+                  (fun pid ->
+                    let slot_repr tm =
+                      match identity_slot t inter0 tm with
+                      | Some s -> Profile.add_repr t.prof (Chunk.column chunk s)
+                      | None -> ()
+                    in
+                    match Query.pred t.query pid with
+                    | Predicate.Select { term = tm; _ } -> slot_repr tm
+                    | Predicate.Join { left; right; _ } ->
+                      slot_repr left;
+                      slot_repr right)
+                  pids;
               (* Selection-vector refinement in predicate order — the same
                  accepted set as the scalar short-circuit conjunction. The
                  first predicate is fused into the selection build when it
@@ -186,9 +220,13 @@ let scan_base t rel =
                   let sel =
                     Chunk.sel_eq_const (Chunk.column chunk slot) value n
                   in
+                  Metric.Counter.inc t.m.m_fused;
+                  Profile.set_path t.prof "sel_eq_const";
+                  Profile.set_sel_density t.prof ~kept:sel.Chunk.n ~of_:n;
                   List.iter (fun p -> Chunk.refine p sel) rest;
                   sel
                 | _ ->
+                  Profile.set_path t.prof "refine";
                   let sel = Chunk.sel_all n in
                   List.iter (fun p -> Chunk.refine p sel) preds;
                   sel
@@ -200,6 +238,9 @@ let scan_base t rel =
           match vectorized with
           | Some rows -> rows
           | None ->
+            Metric.Counter.inc t.m.m_scalar;
+            Profile.set_path t.prof "scalar";
+            Profile.add_repr_rows t.prof;
             let filters = List.map (compile_filter t inter0) pids in
             let keep =
               List.fold_left
@@ -370,6 +411,7 @@ let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
   match pair_filters t la rb chunk_la chunk_rb filter_pids with
   | None -> None
   | Some accepts ->
+    Profile.add_batches t.prof 2;
     let emit li ri =
       let row = Array.make width Value.Null in
       Array.blit la.Intermediate.rows.(li) 0 row 0 la.Intermediate.width;
@@ -403,6 +445,7 @@ let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
     if conn = [] then begin
       Metric.Counter.add t.m.m_probed
         (float_of_int (Intermediate.cardinality la));
+      Profile.set_path t.prof "cross";
       let nl = Intermediate.cardinality la
       and nr = Intermediate.cardinality rb in
       for li = 0 to nl - 1 do
@@ -481,11 +524,34 @@ let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
         (* Build checkpoint: one draw per hash-join build. *)
         Fault.build t.fault;
         (* A single int key with no straddling filters takes the fully
-           fused loop (same pairs, same order — see {!Chunk.join_ints}). *)
+           fused loop (same pairs, same order — see {!Chunk.join_ints}).
+           The path is attributed (and the fused counter bumped) before
+           the loop runs, so an early Timeout exit still reports the path
+           that was executing. *)
+        let fusable =
+          match key_cols, accepts with
+          | [ (bc, pc) ], [] -> (
+            match (bc, pc) with
+            | ( Column.Ints { kind = ka; _ },
+                Column.Ints { kind = kb; _ } ) ->
+              ka = kb
+            | _ -> false)
+          | _ -> false
+        in
         let fused =
           match key_cols, accepts with
-          | [ (bc, pc) ], [] ->
-            Chunk.join_ints bc pc (fun bi pi ->
+          | [ (bc, pc) ], [] when fusable ->
+            Metric.Counter.inc t.m.m_fused;
+            Profile.set_path t.prof "join_ints";
+            let on_index =
+              if Profile.live t.prof then begin
+                Profile.add_repr t.prof bc;
+                Profile.add_repr t.prof pc;
+                Some (Profile.observe_chains t.prof)
+              end
+              else None
+            in
+            Chunk.join_ints ?on_index bc pc (fun bi pi ->
                 let li = if build_is_left then bi else pi
                 and ri = if build_is_left then pi else bi in
                 emit_accepted li ri)
@@ -496,6 +562,13 @@ let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
           Some (rowbuf_contents out)
         end
         else begin
+        Profile.set_path t.prof "chained";
+        if Profile.live t.prof then
+          List.iter
+            (fun (bc, pc) ->
+              Profile.add_repr t.prof bc;
+              Profile.add_repr t.prof pc)
+            key_cols;
         (* Chained-bucket index: chains run latest-insertion-first, the
            same order [Hashtbl.find_all] yields equal keys in. *)
         let sz = next_pow2 (2 * max 1 nb) in
@@ -510,6 +583,7 @@ let hash_join_fast t (la : Intermediate.t) (rb : Intermediate.t) ~conn
           next.(bi) <- head.(b);
           head.(b) <- bi
         done;
+        if Profile.live t.prof then Profile.observe_chains t.prof ~head ~next;
         for pi = 0 to np - 1 do
           let h = hash_probe pi in
           let c = ref head.(h land msk) in
@@ -537,6 +611,15 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
   in
   let filter_pids = List.filter (fun p -> not (List.mem p conn)) newly in
   let mask, offsets, width = Intermediate.combined_layout la rb in
+  let nl = Intermediate.cardinality la and nr = Intermediate.cardinality rb in
+  (* Join selectivity is measured against the cross-product size. *)
+  let set_io () =
+    Profile.set_input t.prof
+      ~rows:(float_of_int (nl + nr))
+      ~denom:(float_of_int nl *. float_of_int nr);
+    if conn = [] then Profile.set_kind t.prof Profile.Cross
+  in
+  set_io ();
   let rows =
     let fast =
       if Fault.armed t.fault then None
@@ -544,7 +627,16 @@ let hash_join t (la : Intermediate.t) (rb : Intermediate.t) =
     in
     match fast with
     | Some rows -> rows
-    | None -> hash_join_scalar t la rb ~conn ~filter_pids ~mask ~offsets ~width
+    | None ->
+      Metric.Counter.inc t.m.m_scalar;
+      (* The failed fast attempt may have left scratch behind (batches,
+         key representations): restart the node's detail for the path
+         that will actually produce the rows. *)
+      Profile.reset t.prof;
+      set_io ();
+      Profile.set_path t.prof (if conn = [] then "cross-scalar" else "scalar");
+      Profile.add_repr_rows t.prof;
+      hash_join_scalar t la rb ~conn ~filter_pids ~mask ~offsets ~width
   in
   { Intermediate.mask; offsets; width; rows }
 
@@ -555,29 +647,50 @@ let stats_pass t (inter : Intermediate.t) =
   Ctx.with_span t.tel "exec.sigma"
     ~attrs:[ ("objects", Span.Int card) ]
     (fun _ ->
+      let vec = not (Fault.armed t.fault) in
+      Profile.set_input t.prof ~rows:(float_of_int card)
+        ~denom:(float_of_int card);
+      (* Attributed before the budget draw so a Σ pass that trips Timeout
+         still reports which path it was on. *)
+      Profile.set_path t.prof (if vec then "column" else "row");
       spend t (float_of_int card);
       Metric.Counter.add t.m.m_sigma (float_of_int card);
       t.sigma_total <- t.sigma_total +. float_of_int card;
       let terms = Query.interesting_terms t.query inter.Intermediate.mask in
-      let vec = not (Fault.armed t.fault) in
-      List.map
-        (fun tm ->
-          let hll = Hyperloglog.create ~p:14 () in
-          (match (if vec then identity_slot t inter tm else None) with
-          | Some slot ->
-            (* Column path: the HLL register updates are the same values in
-               the same order as hashing the boxed rows. *)
-            let col = Chunk.column (chunk_of t inter) slot in
-            for i = 0 to card - 1 do
-              Hyperloglog.add_hash hll (Column.value_hash col i)
-            done
-          | None ->
-            let ev = compile_term t inter tm in
-            Array.iter
-              (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
-              inter.Intermediate.rows);
-          (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
-        terms)
+      let row_terms = ref 0 and col_terms = ref 0 in
+      let ds =
+        List.map
+          (fun tm ->
+            let hll = Hyperloglog.create ~p:14 () in
+            (match (if vec then identity_slot t inter tm else None) with
+            | Some slot ->
+              (* Column path: the HLL register updates are the same values in
+                 the same order as hashing the boxed rows. *)
+              let col = Chunk.column (chunk_of t inter) slot in
+              if !col_terms = 0 then Profile.add_batches t.prof 1;
+              incr col_terms;
+              Profile.add_repr t.prof col;
+              for i = 0 to card - 1 do
+                Hyperloglog.add_hash hll (Column.value_hash col i)
+              done
+            | None ->
+              incr row_terms;
+              Profile.add_repr_rows t.prof;
+              let ev = compile_term t inter tm in
+              Array.iter
+                (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
+                inter.Intermediate.rows);
+            (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
+          terms
+      in
+      (* A Σ pass that had to evaluate any term per-row (opaque UDF or an
+         armed fault plan) counts as one scalar fallback. *)
+      if !row_terms > 0 then begin
+        Metric.Counter.inc t.m.m_scalar;
+        if !col_terms > 0 then Profile.set_path t.prof "mixed"
+        else Profile.set_path t.prof "row"
+      end;
+      ds)
 
 let execute t expr =
   Ctx.with_span t.tel "exec.execute" (fun span ->
@@ -593,15 +706,62 @@ let execute t expr =
     obs_counts := (mask, c) :: !obs_counts;
     obs_nodes := (e, c) :: !obs_nodes
   in
+  (* One plan node's materialization, profiled: the self time (children
+     are materialized outside [f]) lands on the exec.node_ms histogram,
+     the profile collector freezes a node — complete or not — on every
+     exit path, and a non-Null tracer gets one child span per plan node
+     under exec.execute, so Perfetto timelines show the operator
+     breakdown. Cache hits never pass through here, matching
+     [obs_nodes]. *)
+  let run_node : 'a. Expr.t -> Profile.kind -> rows_out:('a -> float)
+      -> (unit -> 'a) -> 'a =
+   fun e default_kind ~rows_out f ->
+    Profile.reset t.prof;
+    let b0 = t.produced in
+    let t0 = Timer.now () in
+    let finish span ~complete ~out =
+      let dt = Timer.now () -. t0 in
+      Metric.Histogram.observe t.m.h_node (dt *. 1000.0);
+      Profile.finish t.prof ~expr:e ~mask:(Expr.mask e) ~default_kind
+        ~rows_out:out ~budget:(t.produced -. b0) ~complete ~seconds:dt;
+      match span with
+      | None -> ()
+      | Some s ->
+        Span.set_attr s "rows_out" (Span.Float out);
+        Span.set_attr s "complete" (Span.Bool complete)
+    in
+    let body span =
+      match f () with
+      | v ->
+        finish span ~complete:true ~out:(rows_out v);
+        v
+      | exception ex ->
+        (* Timeout / Deadline.Expired / Fault.Injected mid-operator: the
+           in-flight node is still flushed (rows_out 0, budget = what it
+           drew) so profiles stay consistent with the exec.* counters. *)
+        finish span ~complete:false ~out:0.0;
+        raise ex
+    in
+    if Ctx.tracing t.tel then
+      Ctx.with_span t.tel "exec.node"
+        ~attrs:[ ("node", Span.Str (Expr.describe t.query e)) ]
+        (fun s -> body (Some s))
+    else body None
+  in
+  let inter_card inter = float_of_int (Intermediate.cardinality inter) in
   let rec go ~is_root e : Intermediate.t =
     (* Batch boundary: one cooperative deadline check per plan node. *)
     Deadline.check t.deadline;
     match e with
     | Expr.Stats inner ->
       let inter = go ~is_root inner in
-      let ds = stats_pass t inter in
-      cost := !cost +. float_of_int (Intermediate.cardinality inter);
-      stats_cost := !stats_cost +. float_of_int (Intermediate.cardinality inter);
+      let card = float_of_int (Intermediate.cardinality inter) in
+      let ds =
+        run_node e Profile.Sigma ~rows_out:(fun _ -> card) (fun () ->
+            stats_pass t inter)
+      in
+      cost := !cost +. card;
+      stats_cost := !stats_cost +. card;
       obs_distincts := ds @ !obs_distincts;
       inter
     | Expr.Leaf m -> (
@@ -610,7 +770,10 @@ let execute t expr =
       | None -> (
         match Relset.to_list m with
         | [ i ] ->
-          let inter = scan_base t i in
+          let inter =
+            run_node e Profile.Scan ~rows_out:inter_card (fun () ->
+                scan_base t i)
+          in
           let c = float_of_int (Intermediate.cardinality inter) in
           obs_counts := (m, c) :: !obs_counts;
           obs_nodes := (e, c) :: !obs_nodes;
@@ -623,7 +786,10 @@ let execute t expr =
       | None ->
         let ia = go ~is_root:false a in
         let ib = go ~is_root:false b in
-        let inter = hash_join t ia ib in
+        let inter =
+          run_node e Profile.Join ~rows_out:inter_card (fun () ->
+              hash_join t ia ib)
+        in
         let c = float_of_int (Intermediate.cardinality inter) in
         (* Final result of the complete query is not charged as cost. *)
         if not (is_root && Relset.equal m full) then cost := !cost +. c;

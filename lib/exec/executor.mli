@@ -48,6 +48,14 @@ val create : ?env:Monsoon_util.Env.t -> Catalog.t -> Query.t -> budget -> t
     attributes — set even when the call raises {!Timeout} — and
     [exec.sigma]).
 
+    With a packed profile collector ([Profile.to_env]), every [execute]
+    call additionally records one {!Profile.node} per plan node it
+    materializes — kind, path taken, representation mix, rows,
+    selectivity, batch counts, chain shape, budget drawn and wall time —
+    and each node's wall time lands on the [exec.node_ms] histogram.
+    Fused-path hits and scalar fallbacks are counted on
+    [exec.fused_ops] / [exec.scalar_fallbacks] regardless of profiling.
+
     With an armed [env.fault], the plan is consulted at three checkpoints —
     each compiled UDF evaluation, each scanned base row, each hash-join
     build — and a firing checkpoint aborts the call with
@@ -60,6 +68,11 @@ val create : ?env:Monsoon_util.Env.t -> Catalog.t -> Query.t -> budget -> t
     off. *)
 
 val set_budget : t -> budget -> unit
+
+val profile : t -> Profile.t
+(** The profile collector this executor writes to — the one packed in the
+    creation [env], or [Profile.disabled]. Lets direct embedders (tests,
+    bench) read {!Profile.nodes} without going through the driver. *)
 
 type stat_obs = {
   obs_counts : (Relset.t * float) list;

@@ -1,0 +1,216 @@
+open Monsoon_storage
+open Monsoon_relalg
+
+(* The per-plan-node execution profile collector. One collector accompanies
+   one executor; the executor's operators write scratch detail (path taken,
+   representations touched, chain shape) while a node runs and [finish]
+   freezes the scratch into an immutable node record. Everything except
+   [n_seconds] is a pure function of the execution, which profiling never
+   perturbs — so profiles are byte-identical (modulo time) across worker
+   counts and audited/unaudited runs.
+
+   The disabled collector follows the Null-sink rule: every mutator is one
+   load-and-branch, so the instrumented hot paths cost noise when
+   profiling is off (bench-gated, like [Fault.disabled]). *)
+
+type kind = Scan | Join | Cross | Sigma
+
+let kind_label = function
+  | Scan -> "scan"
+  | Join -> "hash-join"
+  | Cross -> "cross"
+  | Sigma -> "sigma"
+
+type node = {
+  n_expr : Expr.t;
+  n_mask : Relset.t;
+  n_kind : kind;
+  n_path : string;
+  n_repr : string list;
+  n_rows_in : float;
+  n_rows_out : float;
+  n_selectivity : float;
+  n_batches : int;
+  n_sel_density : float;
+  n_chain_max : int;
+  n_chain_mean : float;
+  n_budget : float;
+  n_complete : bool;
+  n_seconds : float;
+}
+
+type t = {
+  live : bool;
+  mutable rev_nodes : node list;  (* newest first *)
+  mutable drained : int;  (* how many of rev_nodes were already drained *)
+  (* scratch for the in-flight node, reset per node *)
+  mutable c_kind : kind option;
+  mutable c_path : string;
+  mutable c_rows_in : float;
+  mutable c_denom : float;  (* selectivity denominator *)
+  mutable c_batches : int;
+  mutable c_rev_repr : string list;
+  mutable c_sel_density : float;  (* < 0 = unset *)
+  mutable c_chain_max : int;
+  mutable c_chain_mean : float;
+}
+
+let make live =
+  { live;
+    rev_nodes = [];
+    drained = 0;
+    c_kind = None;
+    c_path = "";
+    c_rows_in = 0.0;
+    c_denom = 0.0;
+    c_batches = 0;
+    c_rev_repr = [];
+    c_sel_density = -1.0;
+    c_chain_max = 0;
+    c_chain_mean = 0.0 }
+
+let disabled = make false
+let create () = make true
+let live t = t.live
+
+let reset t =
+  if t.live then begin
+    t.c_kind <- None;
+    t.c_path <- "";
+    t.c_rows_in <- 0.0;
+    t.c_denom <- 0.0;
+    t.c_batches <- 0;
+    t.c_rev_repr <- [];
+    t.c_sel_density <- -1.0;
+    t.c_chain_max <- 0;
+    t.c_chain_mean <- 0.0
+  end
+
+let set_kind t k = if t.live then t.c_kind <- Some k
+let set_path t p = if t.live then t.c_path <- p
+
+let set_input t ~rows ~denom =
+  if t.live then begin
+    t.c_rows_in <- rows;
+    t.c_denom <- denom
+  end
+
+let add_batches t n = if t.live then t.c_batches <- t.c_batches + n
+
+let repr_label = function
+  | Column.Ints _ -> "ints"
+  | Column.Floats _ -> "floats"
+  | Column.Dict _ -> "dict"
+  | Column.Boxed _ -> "boxed"
+
+let add_repr t col =
+  if t.live then t.c_rev_repr <- repr_label col :: t.c_rev_repr
+
+let add_repr_rows t = if t.live then t.c_rev_repr <- "rows" :: t.c_rev_repr
+
+let set_sel_density t ~kept ~of_ =
+  if t.live then
+    t.c_sel_density <-
+      (if of_ <= 0 then 1.0 else float_of_int kept /. float_of_int of_)
+
+(* Chain shape of a chained-bucket join index: [head]/[next] as built by
+   the executor (and {!Chunk.join_ints}), -1-terminated. Mean is over
+   non-empty buckets. Only called on the live path. *)
+let observe_chains t ~head ~next =
+  if t.live then begin
+    let max_chain = ref 0 and entries = ref 0 and buckets = ref 0 in
+    Array.iter
+      (fun h ->
+        if h >= 0 then begin
+          incr buckets;
+          let len = ref 0 in
+          let c = ref h in
+          while !c >= 0 do
+            incr len;
+            c := next.(!c)
+          done;
+          entries := !entries + !len;
+          if !len > !max_chain then max_chain := !len
+        end)
+      head;
+    t.c_chain_max <- !max_chain;
+    t.c_chain_mean <-
+      (if !buckets = 0 then 0.0
+       else float_of_int !entries /. float_of_int !buckets)
+  end
+
+let finish t ~expr ~mask ~default_kind ~rows_out ~budget ~complete ~seconds =
+  if t.live then begin
+    let kind = match t.c_kind with Some k -> k | None -> default_kind in
+    let selectivity =
+      if t.c_denom <= 0.0 then 1.0 else rows_out /. t.c_denom
+    in
+    let node =
+      { n_expr = expr;
+        n_mask = mask;
+        n_kind = kind;
+        n_path = t.c_path;
+        n_repr = List.rev t.c_rev_repr;
+        n_rows_in = t.c_rows_in;
+        n_rows_out = rows_out;
+        n_selectivity = selectivity;
+        n_batches = t.c_batches;
+        n_sel_density =
+          (if t.c_sel_density < 0.0 then selectivity else t.c_sel_density);
+        n_chain_max = t.c_chain_max;
+        n_chain_mean = t.c_chain_mean;
+        n_budget = budget;
+        n_complete = complete;
+        n_seconds = seconds }
+    in
+    t.rev_nodes <- node :: t.rev_nodes
+  end
+
+let nodes t = List.rev t.rev_nodes
+
+let drain t =
+  let total = List.length t.rev_nodes in
+  let fresh = total - t.drained in
+  t.drained <- total;
+  if fresh <= 0 then []
+  else List.rev (List.filteri (fun i _ -> i < fresh) t.rev_nodes)
+
+(* --- rendering --- *)
+
+let to_recorder n =
+  { Monsoon_telemetry.Recorder.p_kind = kind_label n.n_kind;
+    p_path = n.n_path;
+    p_repr = String.concat "," n.n_repr;
+    p_rows_in = n.n_rows_in;
+    p_rows_out = n.n_rows_out;
+    p_selectivity = n.n_selectivity;
+    p_batches = n.n_batches;
+    p_sel_density = n.n_sel_density;
+    p_chain_max = n.n_chain_max;
+    p_chain_mean = n.n_chain_mean;
+    p_budget = n.n_budget;
+    p_complete = n.n_complete;
+    p_ms = n.n_seconds *. 1000.0 }
+
+(* A deterministic one-line fingerprint of a node: everything except the
+   wall time, with floats printed as hex so equality is bit-exact. The
+   byte-identity tests (jobs-invariance, audited-vs-unaudited) compare
+   concatenations of these. *)
+let fingerprint q n =
+  Printf.sprintf
+    "%s kind=%s path=%s repr=%s in=%h out=%h sel=%h batches=%d dens=%h \
+     chain=%d/%h budget=%h complete=%b"
+    (Expr.describe q n.n_expr) (kind_label n.n_kind) n.n_path
+    (String.concat "," n.n_repr)
+    n.n_rows_in n.n_rows_out n.n_selectivity n.n_batches n.n_sel_density
+    n.n_chain_max n.n_chain_mean n.n_budget n.n_complete
+
+(* --- Env packing (mirrors Ctx.to_env / of_env) --- *)
+
+type Monsoon_util.Env.profile += Packed of t
+
+let to_env ?(env = Monsoon_util.Env.default) t =
+  Monsoon_util.Env.with_profile env (Packed t)
+
+let of_env (env : Monsoon_util.Env.t) =
+  match Monsoon_util.Env.profile env with Packed t -> t | _ -> disabled

@@ -605,7 +605,7 @@ let workload_for profile id =
         None )
   | _ -> None
 
-let explain profile ~experiment ~query =
+let explain ?(op_profile = false) profile ~experiment ~query =
   match workload_for profile experiment with
   | None ->
     Error
@@ -647,11 +647,16 @@ let explain profile ~experiment ~query =
           max_steps = 200 }
       in
       let recorder = Recorder.create () in
-      let _outcome =
-        Driver.run
-          ~env:(Ctx.to_env (Ctx.with_recorder profile.ctx recorder))
-          config w.Workload.catalog q
+      let env = Ctx.to_env (Ctx.with_recorder profile.ctx recorder) in
+      (* Operator profiling is opt-in: a packed collector turns on the
+         per-node scratch in the executor, and the driver joins the
+         drained nodes onto the Executed events the report renders. *)
+      let env =
+        if op_profile then
+          Monsoon_exec.Profile.to_env ~env (Monsoon_exec.Profile.create ())
+        else env
       in
+      let _outcome = Driver.run ~env config w.Workload.catalog q in
       Ok recorder)
 
 (* --- The serving handler (`monsoon serve` / `monsoon load`) --- *)

@@ -79,6 +79,7 @@ val run : profile -> id:string -> (profile -> string) -> string
     point the CLI uses so traces and live metrics cover whole tables. *)
 
 val explain :
+  ?op_profile:bool ->
   profile ->
   experiment:string ->
   query:string ->
@@ -89,8 +90,12 @@ val explain :
     MCTS effort, same budget). [experiment] names a benchmark-backed
     experiment ([tpch]/[table2], [imdb]/[table3..5], [ott]/[table6],
     [udf]/[table7]/[figure3]). [Error] carries a usage message listing
-    valid ids or queries. Render the result with
-    {!Monsoon_telemetry.Explain.report},
+    valid ids or queries. With [op_profile] (default false, the CLI's
+    [--profile]) an execution profile collector rides the env, so the
+    report's plan tables gain per-operator rows (time share, rows,
+    selectivity, representation mix, path taken) — profiling only reads,
+    so the run's decisions and costs are unchanged. Render the result
+    with {!Monsoon_telemetry.Explain.report},
     {!Monsoon_telemetry.Recorder.to_dot} or [to_json]. *)
 
 val service :

@@ -45,6 +45,7 @@ let default_config =
 type t = {
   config : config;
   ctx : Ctx.t;
+  env : Env.t;  (* creation env; handler envs derive from it *)
   queries : string list;
   handler : handler;
   pool : Pool.t;
@@ -72,6 +73,7 @@ let create ?(env = Env.default) ?(queries = []) config handler =
   let ctx = Ctx.of_env env in
   { config;
     ctx;
+    env;
     queries;
     handler;
     pool = Pool.create config.max_concurrent;
@@ -218,8 +220,11 @@ let submit t qname =
              request failure, never a server failure. *)
           match
             Pool.run t.pool (fun () ->
+                (* The handler env derives from the creation env, so
+                   anything the embedder packed into it — a telemetry
+                   context, a profile collector — reaches every request. *)
                 t.handler ~id ~rng
-                  ~env:(Env.with_deadline Env.default deadline)
+                  ~env:(Env.with_deadline t.env deadline)
                   ~recorder ~trace qname)
           with
           | Ok o -> `Done o

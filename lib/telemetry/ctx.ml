@@ -37,6 +37,8 @@ let with_span t ?attrs name f =
   in
   Span.with_span t.tracer ?attrs name f
 
+let tracing t = Span.enabled t.tracer
+
 let record t event = Recorder.record t.recorder event
 let flush t = Span.flush (Span.sink t.tracer)
 

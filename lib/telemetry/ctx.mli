@@ -54,6 +54,11 @@ val histogram :
 val with_span :
   t -> ?attrs:(string * Span.attr) list -> string -> (Span.t -> 'a) -> 'a
 
+val tracing : t -> bool
+(** [Span.enabled] on the context's tracer: [false] when spans go to the
+    Null sink. Lets producers skip building expensive span attributes
+    (pretty-printed plan nodes) that no sink would record. *)
+
 val record : t -> Recorder.event -> unit
 (** Shorthand for [Recorder.record (recorder t)] — a single branch when the
     recorder is null. *)

@@ -51,6 +51,52 @@ let node_rows nodes =
         q_cell n.Recorder.node_q_error ])
     nodes
 
+(* One row per profiled node of an Executed event; [None] when the run
+   carried no operator profiles, so unprofiled reports render exactly as
+   they always did. Time share is over this event's profiled nodes. *)
+let profile_rows nodes =
+  let profiled =
+    List.filter_map
+      (fun (n : Recorder.exec_node) ->
+        Option.map (fun p -> (n, p)) n.Recorder.node_profile)
+      nodes
+  in
+  match profiled with
+  | [] -> None
+  | _ ->
+    let total_ms =
+      List.fold_left
+        (fun a (_, p) -> a +. p.Recorder.p_ms)
+        0.0 profiled
+    in
+    Some
+      (List.map
+         (fun ((n : Recorder.exec_node), (p : Recorder.node_profile)) ->
+           [ String.make (2 * n.Recorder.node_depth) ' '
+             ^ n.Recorder.node_expr;
+             p.Recorder.p_kind;
+             (if p.Recorder.p_complete then p.Recorder.p_path
+              else p.Recorder.p_path ^ " (killed)");
+             (if total_ms > 0.0 then
+                Printf.sprintf "%.1f"
+                  (100.0 *. p.Recorder.p_ms /. total_ms)
+              else "-");
+             Printf.sprintf "%.3f" p.Recorder.p_ms;
+             num p.Recorder.p_rows_in;
+             num p.Recorder.p_rows_out;
+             Printf.sprintf "%.3g" p.Recorder.p_selectivity;
+             Printf.sprintf "%.3g" p.Recorder.p_sel_density;
+             (if p.Recorder.p_repr = "" then "-" else p.Recorder.p_repr);
+             (if p.Recorder.p_chain_max = 0 then "-"
+              else
+                Printf.sprintf "%d/%.2f" p.Recorder.p_chain_max
+                  p.Recorder.p_chain_mean) ])
+         profiled)
+
+let profile_header =
+  [ "Plan node"; "Op"; "Path"; "Time %"; "ms"; "Rows in"; "Rows out";
+    "Sel"; "Dens"; "Repr"; "Chain" ]
+
 let plan_tables r =
   let tables =
     List.filter_map
@@ -60,10 +106,19 @@ let plan_tables r =
             Printf.sprintf "EXECUTE at step %d (cost %s%s)" step (num cost)
               (if timed_out then "; budget exhausted mid-plan" else "")
           in
+          let plan =
+            Snapshot.table ~title
+              ~header:[ "Plan node"; "Predicted"; "Observed"; "Q-error" ]
+              (node_rows nodes)
+          in
           Some
-            (Snapshot.table ~title
-               ~header:[ "Plan node"; "Predicted"; "Observed"; "Q-error" ]
-               (node_rows nodes))
+            (match profile_rows nodes with
+            | None -> plan
+            | Some rows ->
+              plan ^ "\n"
+              ^ Snapshot.table
+                  ~title:(Printf.sprintf "Operator profile for step %d" step)
+                  ~header:profile_header rows)
         | _ -> None)
       (Recorder.events r)
   in

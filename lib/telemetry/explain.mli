@@ -14,7 +14,12 @@ val timeline_table : Recorder.t -> string
 
 val plan_tables : Recorder.t -> string
 (** One table per {!Recorder.Executed} step: the plan tree (indented by
-    node depth) with predicted / observed / q-error columns. *)
+    node depth) with predicted / observed / q-error columns. When the run
+    was profiled (nodes carry {!Recorder.node_profile}), each plan table
+    is followed by an "Operator profile" table — operator kind, path
+    taken, per-event time share, rows in/out, selectivity,
+    selection-vector density, representation mix and join chain shape.
+    Unprofiled recordings render byte-identically to before. *)
 
 val misestimate_table : ?top:int -> Recorder.t -> string
 (** The [top] (default 10) worst cardinality misestimates across the whole

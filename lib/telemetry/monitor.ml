@@ -172,7 +172,8 @@ let preregister reg =
       "driver.mcts_seconds"; "driver.degraded"; "mcts.plans";
       "mcts.iterations"; "mcts.expansions"; "exec.tuples_scanned";
       "exec.tuples_built"; "exec.tuples_probed"; "exec.tuples_emitted";
-      "exec.sigma_objects"; "exec.budget_spent"; "fault.injected";
+      "exec.sigma_objects"; "exec.budget_spent"; "exec.fused_ops";
+      "exec.scalar_fallbacks"; "fault.injected";
       "runner.cells"; "runner.retries"; "runner.quarantined";
       "monitor.ticks"; "server.requests"; "server.ok"; "server.degraded";
       "server.rejected"; "server.timeout"; "server.error" ];
@@ -185,7 +186,7 @@ let preregister reg =
   List.iter
     (fun n -> ignore (Registry.histogram reg n))
     [ "driver.q_error"; "driver.replans_per_query"; "mcts.tree_depth";
-      "server.latency"; "server.queue_wait" ]
+      "exec.node_ms"; "server.latency"; "server.queue_wait" ]
 
 (* --- the monitor itself --- *)
 

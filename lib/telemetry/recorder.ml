@@ -4,6 +4,22 @@ type candidate = {
   cand_mean : float;
 }
 
+type node_profile = {
+  p_kind : string;
+  p_path : string;
+  p_repr : string;
+  p_rows_in : float;
+  p_rows_out : float;
+  p_selectivity : float;
+  p_batches : int;
+  p_sel_density : float;
+  p_chain_max : int;
+  p_chain_mean : float;
+  p_budget : float;
+  p_complete : bool;
+  p_ms : float;
+}
+
 type exec_node = {
   node_expr : string;
   node_mask : int;
@@ -11,6 +27,7 @@ type exec_node = {
   node_predicted : float option;
   node_observed : float option;
   node_q_error : float option;
+  node_profile : node_profile option;
 }
 
 type stat_subject = Count of int | Distinct of int
@@ -71,14 +88,34 @@ let candidate_json c =
       ("visits", Json.Num (float_of_int c.cand_visits));
       ("mean", Json.Num c.cand_mean) ]
 
+let profile_json p =
+  Json.Obj
+    [ ("kind", Json.Str p.p_kind);
+      ("path", Json.Str p.p_path);
+      ("repr", Json.Str p.p_repr);
+      ("rows_in", Json.Num p.p_rows_in);
+      ("rows_out", Json.Num p.p_rows_out);
+      ("selectivity", Json.Num p.p_selectivity);
+      ("batches", Json.Num (float_of_int p.p_batches));
+      ("sel_density", Json.Num p.p_sel_density);
+      ("chain_max", Json.Num (float_of_int p.p_chain_max));
+      ("chain_mean", Json.Num p.p_chain_mean);
+      ("budget", Json.Num p.p_budget);
+      ("complete", Json.Bool p.p_complete);
+      ("ms", Json.Num p.p_ms) ]
+
 let node_json n =
   Json.Obj
-    [ ("expr", Json.Str n.node_expr);
-      ("mask", Json.Num (float_of_int n.node_mask));
-      ("depth", Json.Num (float_of_int n.node_depth));
-      ("predicted", opt_num n.node_predicted);
-      ("observed", opt_num n.node_observed);
-      ("q_error", opt_num n.node_q_error) ]
+    ([ ("expr", Json.Str n.node_expr);
+       ("mask", Json.Num (float_of_int n.node_mask));
+       ("depth", Json.Num (float_of_int n.node_depth));
+       ("predicted", opt_num n.node_predicted);
+       ("observed", opt_num n.node_observed);
+       ("q_error", opt_num n.node_q_error) ]
+    @
+    match n.node_profile with
+    | None -> []
+    | Some p -> [ ("profile", profile_json p) ])
 
 let event_json = function
   | Query_start { query; n_rels; state_key } ->

@@ -31,6 +31,35 @@ type candidate = {
   cand_mean : float;  (** mean raw (unnormalized) return of the edge *)
 }
 
+(** One plan node's execution profile, as captured by
+    [Monsoon_exec.Profile] and rendered to plain strings/numbers by the
+    driver. Every field except [p_ms] is deterministic — byte-identical
+    across worker counts and audited/unaudited runs. *)
+type node_profile = {
+  p_kind : string;  (** operator kind: ["scan"]/["hash-join"]/["cross"]/["sigma"] *)
+  p_path : string;
+      (** fused-vs-scalar path attribution, e.g. ["join_ints"],
+          ["chained"], ["sel_eq_const"], ["refine"], ["scalar"] *)
+  p_repr : string;
+      (** comma-joined column representation per input slot touched, in
+          touch order (["ints"]/["floats"]/["dict"]/["boxed"]/["rows"]) *)
+  p_rows_in : float;  (** input rows (both sides summed for joins) *)
+  p_rows_out : float;  (** output cardinality (0 for incomplete nodes) *)
+  p_selectivity : float;
+      (** rows out over the operator's input domain (the cross-product
+          size for joins, the scan input for scans, 1 for Σ) *)
+  p_batches : int;  (** chunk views consumed (0 on the scalar path) *)
+  p_sel_density : float;
+      (** selection-vector density after the first fused predicate;
+          defaults to the overall selectivity when nothing was fused *)
+  p_chain_max : int;  (** longest hash-join bucket chain (joins only) *)
+  p_chain_mean : float;  (** mean chain length over non-empty buckets *)
+  p_budget : float;  (** budget drawn while this node ran *)
+  p_complete : bool;
+      (** [false] when the node died to Timeout / deadline / fault *)
+  p_ms : float;  (** wall milliseconds — the only nondeterministic field *)
+}
+
 type exec_node = {
   node_expr : string;  (** pretty-printed (sub-)expression *)
   node_mask : int;  (** relation-instance mask of the node *)
@@ -44,6 +73,9 @@ type exec_node = {
           the node materialized *)
   node_q_error : float option;
       (** [q_error ~predicted ~observed] when both sides are present *)
+  node_profile : node_profile option;
+      (** operator-level execution profile, when the run was profiled and
+          this node was materialized (not served from the cache) *)
 }
 
 type stat_subject =

@@ -1,12 +1,27 @@
 type ctx = ..
 type ctx += Null_ctx
 
-type t = { ctx : ctx; fault : Fault.t; deadline : Deadline.t }
+type profile = ..
+type profile += No_profile
 
-let default = { ctx = Null_ctx; fault = Fault.disabled; deadline = Deadline.none }
+type t = {
+  ctx : ctx;
+  fault : Fault.t;
+  deadline : Deadline.t;
+  profile : profile;
+}
+
+let default =
+  { ctx = Null_ctx;
+    fault = Fault.disabled;
+    deadline = Deadline.none;
+    profile = No_profile }
+
 let with_ctx t ctx = { t with ctx }
 let with_fault t fault = { t with fault }
 let with_deadline t deadline = { t with deadline }
+let with_profile t profile = { t with profile }
 let ctx t = t.ctx
 let fault t = t.fault
 let deadline t = t.deadline
+let profile t = t.profile

@@ -22,15 +22,31 @@ type ctx = ..
 type ctx += Null_ctx
 (** The empty slot; consumers treat it as a fresh Null-sink context. *)
 
-type t = { ctx : ctx; fault : Fault.t; deadline : Deadline.t }
+type profile = ..
+(** Extension point for the per-plan-node execution profile collector
+    (see [Monsoon_exec.Profile.to_env]); an extensible variant for the
+    same reason as {!ctx} — the collector's type lives above this
+    library in the dependency order. *)
+
+type profile += No_profile
+(** The empty slot; consumers treat it as profiling disabled. *)
+
+type t = {
+  ctx : ctx;
+  fault : Fault.t;
+  deadline : Deadline.t;
+  profile : profile;
+}
 
 val default : t
-(** [Null_ctx] + {!Fault.disabled} + {!Deadline.none}. *)
+(** [Null_ctx] + {!Fault.disabled} + {!Deadline.none} + {!No_profile}. *)
 
 val with_ctx : t -> ctx -> t
 val with_fault : t -> Fault.t -> t
 val with_deadline : t -> Deadline.t -> t
+val with_profile : t -> profile -> t
 
 val ctx : t -> ctx
 val fault : t -> Fault.t
 val deadline : t -> Deadline.t
+val profile : t -> profile

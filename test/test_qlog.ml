@@ -26,7 +26,8 @@ let node q =
     node_depth = 0;
     node_predicted = Some 10.0;
     node_observed = Some 20.0;
-    node_q_error = q }
+    node_q_error = q;
+    node_profile = None }
 
 let decision step =
   Recorder.Decision
