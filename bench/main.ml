@@ -73,6 +73,39 @@ let mcts_cfg =
   { (Monsoon_mcts.Mcts.default_config ~rng:(Rng.create 77)) with
     Monsoon_mcts.Mcts.iterations = 100 }
 
+(* Fixtures for the repo/* kernels: the cross-query statistics repository
+   (lib/stats_repo). Two separate log files so the flush kernel's append
+   growth never changes what the replay / lookup kernels read. The seed
+   log gets ten flushed runs up front — a few hundred lines, the size a
+   short serving session leaves behind. *)
+module Stats_repo = Monsoon_stats_repo.Stats_repo
+
+let repo_terms () =
+  Query.interesting_terms imdb_q (Query.all_mask imdb_q)
+
+let repo_observations () =
+  let terms = repo_terms () in
+  let counts =
+    (Query.all_mask imdb_q, 4321.0)
+    :: List.map
+         (fun tm ->
+           (Relset.singleton (fst (List.hd tm.Term.args)), 1000.0))
+         terms
+  in
+  let distincts = List.map (fun tm -> (tm.Term.id, 42.0)) terms in
+  let udf = List.map (fun tm -> (tm.Term.id, 1000.0, 0.25)) terms in
+  (counts, distincts, udf)
+
+let repo_flush_path = Filename.temp_file "monsoon-bench-repo-flush" ".jsonl"
+let repo_seed_path = Filename.temp_file "monsoon-bench-repo-seed" ".jsonl"
+
+let () =
+  let repo = Stats_repo.open_ repo_seed_path in
+  let counts, distincts, udf = repo_observations () in
+  for _ = 1 to 10 do
+    ignore (Stats_repo.flush_query repo ~query:imdb_q ~counts ~distincts ~udf)
+  done
+
 (* Fixtures for the exec/* kernels: the vectorized columnar {!Executor}
    against the frozen row-at-a-time {!Row_engine} on identical scan /
    hash-join / Σ work. Synthetic int-keyed tables, big enough that
@@ -347,6 +380,34 @@ let tests =
                    else Monsoon_server.Slo.Ok_)
                   ~latency:(0.001 *. float_of_int i)
                   ~queue_wait:0.0
+              done));
+      (* Statistics repository (lib/stats_repo): the three costs a
+         warm-started run pays — appending one query's observations under
+         the line lock, replaying a session-sized log into the aggregate
+         at open, and the per-term warm lookups the driver does before
+         planning. *)
+      Test.make ~name:"repo/flush-query"
+        (Staged.stage
+           (let repo = Stats_repo.open_ repo_flush_path in
+            let counts, distincts, udf = repo_observations () in
+            fun () ->
+              ignore
+                (Stats_repo.flush_query repo ~query:imdb_q ~counts ~distincts
+                   ~udf)));
+      Test.make ~name:"repo/log-replay"
+        (Staged.stage (fun () -> ignore (Stats_repo.open_ repo_seed_path)));
+      Test.make ~name:"repo/warm-lookup-x100"
+        (Staged.stage
+           (let repo = Stats_repo.open_ repo_seed_path in
+            let terms = repo_terms () in
+            fun () ->
+              for _ = 1 to 100 do
+                List.iter
+                  (fun tm ->
+                    ignore
+                      (Stats_repo.lookup_distinct repo ~query:imdb_q ~term:tm);
+                    ignore (Stats_repo.lookup_udf repo ~query:imdb_q ~term:tm))
+                  terms
               done)) ]
 
 (* --- Worker-pool scaling: one small suite, sequential vs parallel ---

@@ -4,6 +4,7 @@
 open Cmdliner
 open Monsoon_harness
 open Monsoon_telemetry
+module Stats_repo = Monsoon_stats_repo.Stats_repo
 
 let profile_of_flag quick_flag =
   if quick_flag then Experiments.quick else Experiments.full
@@ -625,7 +626,7 @@ let server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
 
 (* Builds the service (telemetry context, handler, server) shared by
    `serve' and in-process `load'. *)
-let make_server ~quick ~seed ~experiment ~spec ~config_of =
+let make_server ?stats_repo ~quick ~seed ~experiment ~spec ~config_of () =
   let tel = Ctx.create () in
   Monitor.preregister tel.Ctx.registry;
   let base = profile_of_flag quick in
@@ -634,7 +635,7 @@ let make_server ~quick ~seed ~experiment ~spec ~config_of =
       Experiments.ctx = tel;
       seed = Option.value seed ~default:base.Experiments.seed }
   in
-  match Experiments.service profile ~experiment ~faults:spec () with
+  match Experiments.service profile ~experiment ~faults:spec ?stats_repo () with
   | Error _ as e -> e
   | Ok (handler, names) ->
     let config = config_of ~seed:profile.Experiments.seed in
@@ -688,18 +689,33 @@ let serve_cmd =
             "Retain flight-recorder explain reports for the last $(docv) \
              requests (GET /query/ID/explain); 0 disables capture.")
   in
+  let repo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo" ] ~docv:"PATH"
+          ~doc:
+            "Warm-start every request from the statistics repository at \
+             $(docv) (see `stats'): tight history seeds the optimizer's \
+             catalog and each finished query flushes its measurements \
+             back. Omitted = repository-free serving, byte-identical to \
+             before the repository existed.")
+  in
   let run quick faults seed port port_file max_concurrent queue_bound
       request_timeout explain_ring latency_slo availability_slo slow_query
-      qlog_path experiment =
+      qlog_path repo_path experiment =
     match parse_faults faults with
     | Error msg -> Error (Printf.sprintf "--faults %S: %s" faults msg)
     | Ok spec ->
       with_qlog qlog_path @@ fun qlog ->
       (match
-        make_server ~quick ~seed ~experiment ~spec
+        make_server
+          ?stats_repo:(Option.map Stats_repo.open_ repo_path)
+          ~quick ~seed ~experiment ~spec
           ~config_of:(fun ~seed ->
             server_config ~max_concurrent ~queue_bound ~request_timeout ~seed
               ~explain_ring ~latency_slo ~availability_slo ~slow_query ~qlog)
+          ()
       with
       | Error _ as e -> e
       | Ok (server, names) -> (
@@ -748,7 +764,7 @@ let serve_cmd =
       const run $ quick_flag $ service_faults_arg $ service_seed_arg
       $ port_arg $ port_file_arg $ max_concurrent_arg $ queue_bound_arg
       $ request_timeout_arg $ explain_ring_arg $ latency_slo_arg
-      $ availability_slo_arg $ slow_query_arg $ qlog_arg
+      $ availability_slo_arg $ slow_query_arg $ qlog_arg $ repo_arg
       $ service_experiment_arg)
 
 let load_cmd =
@@ -872,6 +888,7 @@ let load_cmd =
               server_config ~max_concurrent ~queue_bound ~request_timeout
                 ~seed ~explain_ring:0 ~latency_slo ~availability_slo
                 ~slow_query:None ~qlog)
+            ()
         with
         | Error _ as e -> e
         | Ok (server, names) ->
@@ -980,6 +997,117 @@ let qlog_cmd =
       const run $ diff_arg $ top_arg $ top_nodes_arg $ threshold_arg
       $ file_arg)
 
+let stats_cmd =
+  let doc =
+    "Inspect and maintain the persistent cross-query statistics repository \
+     (the observation log warm-started runs read — see `experiment \
+     warmstart'). ACTION is one of: $(b,show) (render the current log, one \
+     row per key, deterministic), $(b,snapshot) (freeze the current \
+     aggregate to <repo>.snap-NNNNNN.json), $(b,diff) (compare two \
+     snapshot files — explicit OLD NEW positionals, or the repository's \
+     two newest snapshots when omitted), $(b,gc) (delete all but the \
+     newest --keep snapshots). Every report is byte-stable for the same \
+     log contents, so CI can diff double runs."
+  in
+  let action_arg =
+    let actions =
+      Arg.enum
+        [ ("show", `Show); ("snapshot", `Snapshot); ("diff", `Diff);
+          ("gc", `Gc) ]
+    in
+    Arg.(
+      value & pos 0 actions `Show
+      & info [] ~docv:"ACTION" ~doc:"show | snapshot | diff | gc.")
+  in
+  let repo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo" ] ~docv:"PATH"
+          ~doc:
+            "Repository observation log (JSONL). Defaults to \
+             $(b,MONSOON_REPO).")
+  in
+  let old_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"OLD" ~doc:"diff: baseline snapshot file.")
+  in
+  let new_arg =
+    Arg.(
+      value
+      & pos 2 (some string) None
+      & info [] ~docv:"NEW" ~doc:"diff: new snapshot file.")
+  in
+  let keep_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "keep" ] ~docv:"N"
+          ~doc:"gc: snapshots to retain, newest first (default 5).")
+  in
+  let run action repo_path old_ new_ keep =
+    let repo () =
+      match
+        (match repo_path with
+        | Some p -> Some p
+        | None -> Sys.getenv_opt "MONSOON_REPO")
+      with
+      | Some p -> Ok (Stats_repo.open_ p)
+      | None -> Error "no repository: pass --repo PATH or set MONSOON_REPO"
+    in
+    let print_diff ~old_ ~new_ =
+      match Stats_repo.diff ~old_ ~new_ with
+      | Ok report ->
+        print_string report;
+        Ok ()
+      | Error msg -> Error msg
+    in
+    match action with
+    | `Show -> (
+      match repo () with
+      | Error msg -> Error msg
+      | Ok r ->
+        print_string (Stats_repo.show r);
+        Ok ())
+    | `Snapshot -> (
+      match repo () with
+      | Error msg -> Error msg
+      | Ok r -> (
+        match Stats_repo.snapshot r with
+        | Ok file ->
+          Printf.printf "snapshot written: %s\n" file;
+          Ok ()
+        | Error msg -> Error msg))
+    | `Gc -> (
+      match repo () with
+      | Error msg -> Error msg
+      | Ok r ->
+        let removed = Stats_repo.gc r ~keep in
+        let kept = List.length (Stats_repo.snapshots r) in
+        Printf.printf "removed %d snapshot%s, kept %d\n" removed
+          (if removed = 1 then "" else "s")
+          kept;
+        Ok ())
+    | `Diff -> (
+      match (old_, new_) with
+      | Some o, Some n -> print_diff ~old_:o ~new_:n
+      | Some _, None | None, Some _ ->
+        Error "diff takes either both OLD and NEW snapshot files or neither"
+      | None, None -> (
+        match repo () with
+        | Error msg -> Error msg
+        | Ok r -> (
+          match List.rev (Stats_repo.snapshots r) with
+          | newest :: previous :: _ -> print_diff ~old_:previous ~new_:newest
+          | _ ->
+            Error
+              "diff without positionals needs at least two snapshots (run \
+               `stats snapshot' twice, or pass OLD NEW explicitly)")))
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ action_arg $ repo_arg $ old_arg $ new_arg $ keep_arg)
+
 let demo_cmd =
   let doc =
     "Walk through the paper's Sec 2.3 example: the MDP, the chosen actions, \
@@ -997,7 +1125,7 @@ let main =
   let doc = "Monsoon: multi-step optimization and execution (SIGMOD 2020 reproduction)" in
   Cmd.group (Cmd.info "monsoon" ~doc)
     [ list_cmd; experiment_cmd; all_cmd; profile_cmd; explain_cmd; chaos_cmd;
-      serve_cmd; load_cmd; qlog_cmd; demo_cmd ]
+      serve_cmd; load_cmd; qlog_cmd; stats_cmd; demo_cmd ]
 
 let () =
   match Cmd.eval_value main with

@@ -153,11 +153,22 @@ let skinner =
           plan = Printf.sprintf "%d episodes" out.Skinner.episodes }) }
 
 let monsoon ?(iterations = 2000) ?(scale_with_size = true)
-    ?(selection = Monsoon_mcts.Mcts.Uct (sqrt 2.0)) ?(mcts_workers = 1) prior =
+    ?(selection = Monsoon_mcts.Mcts.Uct (sqrt 2.0)) ?(mcts_workers = 1)
+    ?stats_repo prior =
   { name = "Monsoon";
     applicable = always_applicable;
     run =
       (fun ?env ~rng ~budget catalog q ->
+        (* The repository rides the env so it survives the Runner's
+           per-attempt env reconstruction; [None] leaves the env untouched
+           and the run byte-identical to a repository-free build. *)
+        let env =
+          match stats_repo with
+          | None -> env
+          | Some repo ->
+            let base = Option.value env ~default:Env.default in
+            Some (Monsoon_stats_repo.Stats_repo.to_env ~env:base repo)
+        in
         (* MCTS effort scales with the size of the join-order problem: the
            action space roughly squares with the instance count. *)
         let iterations =

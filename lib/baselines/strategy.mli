@@ -52,13 +52,18 @@ val monsoon :
   ?scale_with_size:bool ->
   ?selection:Monsoon_mcts.Mcts.selection ->
   ?mcts_workers:int ->
+  ?stats_repo:Monsoon_stats_repo.Stats_repo.t ->
   Monsoon_stats.Prior.t ->
   t
 (** The Monsoon optimizer with the given prior (2000 MCTS iterations and
     UCT(√2) by default). [scale_with_size] (default true) multiplies the
     iteration budget for 6- and 7-instance queries, whose action spaces are
     much larger. [mcts_workers] (default 1) turns on root-parallel planning
-    ({!Monsoon_core.Driver.config.mcts_workers}). *)
+    ({!Monsoon_core.Driver.config.mcts_workers}). [stats_repo] attaches a
+    cross-query statistics repository: measured statistics are flushed at
+    every query's end and warm-start the next run's MDP
+    ({!Monsoon_stats_repo.Stats_repo}); omitted, runs are byte-identical
+    to builds without the repository. *)
 
 val fixed_plan : name:string -> (Query.t -> Expr.t) -> t
 (** Execute a externally supplied plan (the OTT benchmark's hand-written

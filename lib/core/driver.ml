@@ -3,6 +3,7 @@ open Monsoon_relalg
 open Monsoon_stats
 open Monsoon_exec
 open Monsoon_telemetry
+module Stats_repo = Monsoon_stats_repo.Stats_repo
 
 type config = {
   prior : Prior.t;
@@ -165,6 +166,36 @@ let run ?(env = Env.default) config catalog query =
       (fun (n : Profile.node) -> (n.Profile.n_expr, Profile.to_recorder n))
       (Profile.drain prof)
   in
+  (* Cross-query statistics repository: resolve every warm-start answer up
+     front — before any planning RNG is created or drawn — so a missing or
+     empty repository leaves the run byte-identical to a repository-free
+     build, and a populated one only changes what the init state knows. *)
+  let repo = Stats_repo.of_env env in
+  let warm_known = ref [] in
+  let warm_priors = ref [] in
+  (match repo with
+  | None -> ()
+  | Some r ->
+    let c_lookups = Ctx.counter tel "repo.lookups" in
+    let c_hits = Ctx.counter tel "repo.hits" in
+    List.iter
+      (fun (tm : Term.t) ->
+        Metric.Counter.inc c_lookups;
+        match Stats_repo.lookup_distinct r ~query ~term:tm with
+        | Stats_repo.Cold -> ()
+        | Stats_repo.Known d ->
+          Metric.Counter.inc c_hits;
+          (* Caller-supplied known distincts win over history. *)
+          if not (List.mem_assoc tm.Term.id config.known_distincts) then
+            warm_known := (tm.Term.id, d) :: !warm_known
+        | Stats_repo.Hint p ->
+          Metric.Counter.inc c_hits;
+          warm_priors := (tm.Term.id, p) :: !warm_priors)
+      (Query.interesting_terms query (Query.all_mask query)));
+  (* Terms whose Wildcard entry is a seed, not a measurement: excluded from
+     the end-of-query flush so the repository never re-absorbs its own
+     answers (or the caller's assumptions) as fresh observations. *)
+  let seeded = List.map fst config.known_distincts @ List.map fst !warm_known in
   (* The cell deadline also bounds the planner, unless the caller already
      set a tighter one on the MCTS config itself. *)
   let mcts_cfg =
@@ -190,7 +221,31 @@ let run ?(env = Env.default) config catalog query =
         | Some inter -> float_of_int (Intermediate.cardinality inter)
         | None -> 0.0
     in
-    ignore state;
+    (* The Query_finish repository hook: flush what this run genuinely
+       measured. Counts come from the hardened catalog, distincts exclude
+       warm-start / known-distinct seeds, UDF observations come straight
+       from the executor's accumulator. *)
+    (match repo with
+    | None -> ()
+    | Some r ->
+      let measured =
+        Stats_catalog.distincts state.Mdp.stats
+        |> List.filter_map (fun (tm, scope, d) ->
+               match scope with
+               | Stats_catalog.Wildcard when not (List.mem tm seeded) ->
+                 Some (tm, d)
+               | _ -> None)
+      in
+      let wrote =
+        Stats_repo.flush_query r ~query
+          ~counts:(Stats_catalog.counts state.Mdp.stats)
+          ~distincts:measured
+          ~udf:(Executor.udf_observations exec)
+      in
+      Metric.Counter.inc (Ctx.counter tel "repo.flushes");
+      Metric.Counter.add
+        (Ctx.counter tel "repo.entries_written")
+        (float_of_int wrote));
     let stats_cost = Executor.sigma_objects exec in
     let executes = !run_executes in
     let steps_taken = !run_steps in
@@ -241,8 +296,22 @@ let run ?(env = Env.default) config catalog query =
   end
   else begin
     let sim_rng = config.mcts.Monsoon_mcts.Mcts.rng in
+    (* Repository Hint priors override the configured family per term; with
+       no hints this is exactly the old [config.prior_of] dispatch, so a
+       repository-free run constructs the very same simulators. *)
+    let prior_of_effective =
+      match (!warm_priors, config.prior_of) with
+      | [], base -> base
+      | hints, base ->
+        Some
+          (fun tid ->
+            match List.assoc_opt tid hints with
+            | Some p -> p
+            | None -> (
+              match base with Some f -> f tid | None -> config.prior))
+    in
     let make_sim rng =
-      match config.prior_of with
+      match prior_of_effective with
       | Some prior_of -> Simulator.create_with ctx ~prior_of rng
       | None -> Simulator.create ctx config.prior rng
     in
@@ -452,6 +521,19 @@ let run ?(env = Env.default) config catalog query =
         Stats_catalog.set_distinct init.Mdp.stats ~term
           ~scope:Stats_catalog.Wildcard d)
       config.known_distincts;
+    (* Warm start: tight history behaves exactly like a caller-known
+       distinct — the Σ action for the term is pruned by [stats_useful]
+       and the paid pass becomes a lookup. *)
+    (match !warm_known with
+    | [] -> ()
+    | ks ->
+      let c_warm = Ctx.counter tel "repo.warm_starts" in
+      List.iter
+        (fun (term, d) ->
+          Metric.Counter.inc c_warm;
+          Stats_catalog.set_distinct init.Mdp.stats ~term
+            ~scope:Stats_catalog.Wildcard d)
+        (List.rev ks));
     record_start init;
     loop init 0
   end

@@ -186,7 +186,10 @@ let state_key state =
            Printf.sprintf "%d@%s:%.4g" tm s d)
     |> String.concat ","
   in
-  Printf.sprintf "P[%s]E[%s]C[%s]D[%s]" plans execs counts dists
+  (* The version counter disambiguates overwrites that the %.4g renderings
+     above collapse (same key, same printed value, different history). *)
+  Printf.sprintf "P[%s]E[%s]C[%s]D[%s]V[%d]" plans execs counts dists
+    (Stats_catalog.version state.stats)
 
 let describe_mask ctx m =
   Expr.describe ctx.query (Expr.leaf m)

@@ -33,6 +33,7 @@ type t = {
   chunks : (Relset.t, Chunk.t) Hashtbl.t;
   mutable produced : float;
   mutable sigma_total : float;
+  mutable udf_obs : (int * float * float) list;  (* term, evals, fraction *)
   fault : Fault.t;
   deadline : Deadline.t;
   tel : Ctx.t;
@@ -61,6 +62,7 @@ let create ?(env = Env.default) catalog query bud =
     chunks = Hashtbl.create 16;
     produced = 0.0;
     sigma_total = 0.0;
+    udf_obs = [];
     fault = Env.fault env;
     deadline = Env.deadline env;
     tel;
@@ -83,6 +85,8 @@ let materialized t mask = Hashtbl.find_opt t.store mask
 let total_produced t = t.produced
 
 let sigma_objects t = t.sigma_total
+
+let udf_observations t = List.rev t.udf_obs
 
 let spend t n =
   t.produced <- t.produced +. n;
@@ -250,6 +254,19 @@ let scan_base t rel =
             Array.of_seq (Seq.filter keep (Array.to_seq raw))
         in
         spend t (float_of_int (Array.length rows));
+        (* Selectivity observations for the repository: each select term on
+           this scan evaluated every raw row and kept this fraction. *)
+        let n_in = float_of_int (Array.length raw) in
+        let frac =
+          if n_in = 0.0 then 0.0 else float_of_int (Array.length rows) /. n_in
+        in
+        List.iter
+          (fun pid ->
+            match Query.pred t.query pid with
+            | Predicate.Select { term = tm; _ } ->
+              t.udf_obs <- (tm.Term.id, n_in, frac) :: t.udf_obs
+            | Predicate.Join _ -> ())
+          pids;
         Intermediate.of_base t.query t.catalog ~rows rel
       end
     in
@@ -680,7 +697,12 @@ let stats_pass t (inter : Intermediate.t) =
               Array.iter
                 (fun row -> Hyperloglog.add_hash hll (Value.hash (ev row)))
                 inter.Intermediate.rows);
-            (tm.Term.id, Float.max 1.0 (Float.round (Hyperloglog.count hll))))
+            let d = Float.max 1.0 (Float.round (Hyperloglog.count hll)) in
+            t.udf_obs <-
+              (tm.Term.id, float_of_int card,
+               if card = 0 then 0.0 else d /. float_of_int card)
+              :: t.udf_obs;
+            (tm.Term.id, d))
           terms
       in
       (* A Σ pass that had to evaluate any term per-row (opaque UDF or an

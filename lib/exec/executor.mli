@@ -107,3 +107,12 @@ val sigma_objects : t -> float
     [exec.sigma_objects] counter this is private to the instance, so it
     stays exact when many executors share one telemetry context across
     domains. *)
+
+val udf_observations : t -> (int * float * float) list
+(** [(term id, rows evaluated, observed fraction)] per UDF-term evaluation
+    site this context has executed, in occurrence order: filtered base
+    scans contribute the select term's pass fraction, Σ passes the
+    distinct-value fraction [d / card]. Purely observational — the
+    accumulator feeds the cross-query statistics repository and alters no
+    cost, RNG draw, or checkpoint order, so the {!Row_engine} differential
+    contract is untouched. *)

@@ -5,6 +5,7 @@ open Monsoon_core
 open Monsoon_baselines
 open Monsoon_workloads
 open Monsoon_telemetry
+module Stats_repo = Monsoon_stats_repo.Stats_repo
 
 type profile = {
   label : string;
@@ -574,6 +575,116 @@ let ablation_prior_spikes profile =
     ~title:"Ablation: foreign-key spikes in the spike-and-slab prior (IMDB subset)"
     ~budget:profile.imdb_budget named
 
+(* --- Cold vs warm: the cross-query statistics repository --- *)
+
+(* A fresh-start guarantee for the cold phase: drop the observation log and
+   every snapshot so a rerun (or a previous experiment on the same path)
+   cannot leak history into the "cold" regime. *)
+let reset_repo path =
+  let r = Stats_repo.open_ path in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    (Stats_repo.snapshots r);
+  if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ())
+
+let warmstart ?repo_path profile =
+  let repo_path =
+    match repo_path with
+    | Some p -> p
+    | None -> (
+      match Sys.getenv_opt "MONSOON_REPO" with
+      | Some p -> p
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          "monsoon-warmstart.jsonl")
+  in
+  reset_repo repo_path;
+  let w, queries = ablation_workload profile in
+  (* Each regime runs under its own null-sink context so the replans and
+     warm-start counters read back per regime. Counter values are sums of
+     exact small integers, so they are identical for every [jobs]
+     setting. *)
+  let regime repo =
+    let tel = Ctx.null () in
+    let rows =
+      Runner.run_suite ~env:(Ctx.to_env tel)
+        { Runner.default_config with
+          Runner.budget = profile.imdb_budget;
+          seed = profile.seed;
+          queries;
+          jobs = profile.jobs }
+        [ Strategy.monsoon ~iterations:profile.monsoon_iterations
+            ~stats_repo:repo Prior.spike_and_slab ]
+        w
+    in
+    let row = match rows with [ r ] -> r | _ -> assert false in
+    let counter n = int_of_float (Metric.Counter.value (Ctx.counter tel n)) in
+    (row, counter "driver.replans", counter "repo.warm_starts")
+  in
+  (* Cold: the repository exists but is empty, so every lookup misses and
+     the run both plans from scratch and seeds the log. Warm: reopening the
+     same path freezes the cold run's observations as the baseline. *)
+  let cold_repo = Stats_repo.open_ repo_path in
+  let cold_row, cold_replans, _ = regime cold_repo in
+  let snap_cold = Stats_repo.snapshot cold_repo in
+  let warm_repo = Stats_repo.open_ repo_path in
+  let warm_row, warm_replans, warm_seeds = regime warm_repo in
+  let snap_warm = Stats_repo.snapshot warm_repo in
+  let objects (c : Runner.cell) =
+    match c.Runner.outcome with
+    | Some o ->
+      if o.Strategy.timed_out then profile.imdb_budget else o.Strategy.cost
+    | None -> profile.imdb_budget
+  in
+  let stats_objects (c : Runner.cell) =
+    match c.Runner.outcome with
+    | Some o -> o.Strategy.stats_cost
+    | None -> 0.0
+  in
+  let cells = List.combine cold_row.Runner.cells warm_row.Runner.cells in
+  let table_rows =
+    List.map
+      (fun ((cc : Runner.cell), (wc : Runner.cell)) ->
+        let co = objects cc and wo = objects wc in
+        [ cc.Runner.query; Report.cost co; Report.cost wo;
+          (if wo < co then "better" else if wo > co then "WORSE" else "same") ])
+      cells
+  in
+  let total f l = List.fold_left (fun acc c -> acc +. f c) 0.0 l in
+  let cold_total = total objects cold_row.Runner.cells in
+  let warm_total = total objects warm_row.Runner.cells in
+  let cold_sigma = total stats_objects cold_row.Runner.cells in
+  let warm_sigma = total stats_objects warm_row.Runner.cells in
+  let nq = float_of_int (max 1 (List.length cells)) in
+  let diff_report =
+    match (snap_cold, snap_warm) with
+    | Ok a, Ok b -> (
+      match Stats_repo.diff ~old_:a ~new_:b with
+      | Ok d -> d
+      | Error e -> "diff failed: " ^ e ^ "\n")
+    | Error e, _ | _, Error e -> "snapshot failed: " ^ e ^ "\n"
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Warm-start: cold vs warm Monsoon on the repeated %s subset (seed %d)"
+         w.Workload.name profile.seed)
+    ~header:[ "Query"; "Cold objects"; "Warm objects"; "Verdict" ]
+    table_rows
+  ^ Printf.sprintf
+      "  totals: objects cold %s warm %s; Σ objects cold %s warm %s\n\
+      \  replans/query: cold %.2f warm %.2f; warm-start seeds: %d\n"
+      (Report.cost cold_total) (Report.cost warm_total)
+      (Report.cost cold_sigma) (Report.cost warm_sigma)
+      (float_of_int cold_replans /. nq)
+      (float_of_int warm_replans /. nq)
+      warm_seeds
+  ^ Printf.sprintf "  WARMSTART DOMINANCE: objects=%s replans=%s\n\n"
+      (if warm_total < cold_total then "yes" else "no")
+      (if warm_replans < cold_replans then "yes" else "no")
+  ^ diff_report
+
 (* --- The flight-recorder entry point (`monsoon explain`) --- *)
 
 let workload_for profile id =
@@ -661,7 +772,7 @@ let explain ?(op_profile = false) profile ~experiment ~query =
 
 (* --- The serving handler (`monsoon serve` / `monsoon load`) --- *)
 
-let service profile ~experiment ?(faults = Fault.no_faults) () =
+let service profile ~experiment ?(faults = Fault.no_faults) ?stats_repo () =
   match workload_for profile experiment with
   | None ->
     Error
@@ -675,7 +786,10 @@ let service profile ~experiment ?(faults = Fault.no_faults) () =
       | Some qs -> List.filter (fun q -> List.mem_assoc q w.Workload.queries) qs
       | None -> List.map fst w.Workload.queries
     in
-    let strategy = monsoon_strategy profile Prior.spike_and_slab in
+    let strategy =
+      Strategy.monsoon ~iterations:profile.monsoon_iterations ?stats_repo
+        Prior.spike_and_slab
+    in
     let handler ~id:_ ~rng ~env ~recorder ~trace qname =
       match List.assoc_opt qname w.Workload.queries with
       | None ->
@@ -830,6 +944,8 @@ let all =
     ("table7", "UDF benchmark", fun p -> fst (table7_figure3 p));
     ("figure3", "per-query UDF costs", fun p -> snd (table7_figure3 p));
     ("table8", "Monsoon component breakdown", table8);
+    ("warmstart", "cold vs warm repeated workload (statistics repository)",
+     fun p -> warmstart p);
     ("ablation-selection", "UCT vs eps-greedy", ablation_selection);
     ("ablation-iterations", "MCTS iteration sweep", ablation_iterations);
     ("ablation-prior", "spike-and-slab vs slab-only", ablation_prior_spikes);

@@ -60,6 +60,22 @@ val table8 : profile -> string
     derived from the emitted spans ([mcts.plan] durations, [exec.sigma] and
     [exec.execute] object attributes). *)
 
+val warmstart : ?repo_path:string -> profile -> string
+(** Cold-vs-warm repeated workload over the cross-query statistics
+    repository ({!Monsoon_stats_repo.Stats_repo}): the IMDB ablation subset
+    runs once against an empty repository (cold — every warm lookup misses,
+    every measured statistic is flushed), a snapshot is taken, then the
+    same suite runs again with the repository reopened (warm — tight
+    history seeds the MDP's catalog and the Σ action becomes a lookup),
+    and a second snapshot is taken. The report shows per-query intermediate
+    objects for both regimes, total replans per query, the dominance
+    verdict line (greppable: ["WARMSTART DOMINANCE: objects=... replans=..."])
+    and the deterministic snapshot diff. [repo_path] defaults to
+    [$MONSOON_REPO] or a fixed file under the system temp directory; the
+    path is reset before the cold phase so the regimes are exactly
+    reproducible, and no path, timestamp, or wall-clock number appears in
+    the report, which is byte-identical for every [profile.jobs] value. *)
+
 val ablation_selection : profile -> string
 (** UCT vs ε-greedy (both Sec 5.1 strategies). *)
 
@@ -102,6 +118,7 @@ val service :
   profile ->
   experiment:string ->
   ?faults:Monsoon_util.Fault.spec ->
+  ?stats_repo:Monsoon_stats_repo.Stats_repo.t ->
   unit ->
   (Monsoon_server.Server.handler * string list, string) result
 (** The serving-side face of a benchmark experiment: a

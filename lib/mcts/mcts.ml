@@ -106,6 +106,7 @@ let select_eps cfg ~progress node =
 let search cfg p root_state ~observe_depth =
   let root = make_node p root_state in
   let expansions = ref 0 in
+  let transpositions = ref 0 in
   let depth_reached = ref 0 in
   (* Global return bounds for [0,1] normalization of the exploitation
      term, as the paper prescribes. *)
@@ -120,7 +121,11 @@ let search cfg p root_state ~observe_depth =
   let child_of edge state' =
     let k = p.key state' in
     match Hashtbl.find_opt edge.children k with
-    | Some n -> n
+    | Some n ->
+      (* Transposition: a stochastic step reproduced an already-expanded
+         state under this edge, so its subtree statistics are shared. *)
+      incr transpositions;
+      n
     | None ->
       let n = make_node p state' in
       Hashtbl.replace edge.children k n;
@@ -176,7 +181,7 @@ let search cfg p root_state ~observe_depth =
        observe g
      done
    with Exit -> ());
-  (root, !expansions)
+  (root, !expansions, !transpositions)
 
 (* Root statistics detached from the (mutable, tree-owning) nodes, so trees
    built in worker domains can be summarized after the domains join. *)
@@ -223,13 +228,14 @@ let plan ?(env = Env.default) ?(workers = 1) ?problem_of cfg p root_state =
     let c_plans = Ctx.counter tel "mcts.plans" in
     let c_iterations = Ctx.counter tel "mcts.iterations" in
     let c_expansions = Ctx.counter tel "mcts.expansions" in
+    let c_transpositions = Ctx.counter tel "mcts.transpositions" in
     let h_depth = Ctx.histogram tel "mcts.tree_depth" in
     let observe_depth d = Metric.Histogram.observe h_depth d in
     Ctx.with_span tel "mcts.plan" (fun span ->
-    let edges, root_visits, expansions, iterations_run =
+    let edges, root_visits, expansions, transpositions, iterations_run =
       if workers <= 1 then begin
-        let root, ex = search cfg p root_state ~observe_depth in
-        (root_edges root, root.visits, ex, cfg.iterations)
+        let root, ex, tr = search cfg p root_state ~observe_depth in
+        (root_edges root, root.visits, ex, tr, cfg.iterations)
       end
       else begin
         (* Root-parallel MCTS: [workers] independent trees on split RNG
@@ -248,8 +254,8 @@ let plan ?(env = Env.default) ?(workers = 1) ?problem_of cfg p root_state =
               Domain.spawn (fun () ->
                   let p_w = replica rng in
                   let cfg_w = { cfg with iterations = per_tree; rng } in
-                  let root, ex = search cfg_w p_w root_state ~observe_depth in
-                  (root_edges root, root.visits, ex)))
+                  let root, ex, tr = search cfg_w p_w root_state ~observe_depth in
+                  (root_edges root, root.visits, ex, tr)))
             rngs
         in
         (* Join every domain before re-raising anything a worker threw
@@ -270,18 +276,21 @@ let plan ?(env = Env.default) ?(workers = 1) ?problem_of cfg p root_state =
               | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
             joined
         in
-        let edges = merge_root_edges (List.map (fun (e, _, _) -> e) results) in
-        let visits = List.fold_left (fun a (_, v, _) -> a + v) 0 results in
-        let ex = List.fold_left (fun a (_, _, x) -> a + x) 0 results in
-        (edges, visits, ex, per_tree * workers)
+        let edges = merge_root_edges (List.map (fun (e, _, _, _) -> e) results) in
+        let visits = List.fold_left (fun a (_, v, _, _) -> a + v) 0 results in
+        let ex = List.fold_left (fun a (_, _, x, _) -> a + x) 0 results in
+        let tr = List.fold_left (fun a (_, _, _, t) -> a + t) 0 results in
+        (edges, visits, ex, tr, per_tree * workers)
       end
     in
     Metric.Counter.inc c_plans;
     Metric.Counter.add c_iterations (float_of_int iterations_run);
     Metric.Counter.add c_expansions (float_of_int expansions);
+    Metric.Counter.add c_transpositions (float_of_int transpositions);
     Span.set_attr span "iterations" (Span.Int iterations_run);
     Span.set_attr span "workers" (Span.Int (max 1 workers));
     Span.set_attr span "expansions" (Span.Int expansions);
+    Span.set_attr span "transpositions" (Span.Int transpositions);
     Span.set_attr span "root_visits" (Span.Int root_visits);
     (* Final choice: best mean return; ties broken toward more visits. *)
     let best =

@@ -58,6 +58,20 @@ let discrete =
 
 let custom ~name ~sample ?(density = fun ~x:_ -> 0.0) () = { name; sample; density }
 
+let empirical ~name ~mean ~lo ~hi =
+  (* A point mass at the observed mean, widened by the observed spread:
+     draws are uniform on [lo, hi] with a 50% spike at the mean. With
+     lo = hi this is a pure point mass. The usual [1, c_own] clamp in
+     {!sample} still applies, so a stale observation larger than the
+     current cardinality degrades gracefully. *)
+  let lo = Float.min lo hi and hi = Float.max lo hi in
+  { name;
+    sample =
+      (fun rng ~c_own:_ ~c_partner:_ ->
+        if Rng.unit_float rng < 0.5 then mean
+        else lo +. Rng.float rng (Float.max 0.0 (hi -. lo)));
+    density = (fun ~x:_ -> 0.0) }
+
 let all =
   [ uniform; increasing; decreasing; u_shaped; low_biased; spike_and_slab; discrete ]
 

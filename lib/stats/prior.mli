@@ -51,6 +51,13 @@ val custom :
 (** An arbitrary prior — e.g. the two-point distributions of the paper's
     Sec 2.3 walkthrough, or a data-set-specific "tailored" prior. *)
 
+val empirical : name:string -> mean:float -> lo:float -> hi:float -> t
+(** A warm-start prior from repeated observations of the same statistic: a
+    50% point mass at the observed [mean] plus a uniform slab over the
+    observed range [lo, hi] (a pure point mass when [lo = hi]). Used by the
+    cross-query statistics repository ([Monsoon_stats_repo]) when history
+    for a term exists but is too spread out to treat as a known value. *)
+
 val all : t list
 (** The seven priors in the paper's Table 2 order. *)
 

@@ -20,28 +20,35 @@ type t = {
   mutable wildcard : float IntMap.t;  (* term id -> measured d *)
   mutable scoped : float PairMap.t;  (* (term id, pred id) -> assumed d *)
   mutable sel_scoped : float IntMap.t;  (* term id -> assumed d, selections *)
+  mutable version : int;  (* bumped on every set_*; overwrite-safe *)
 }
 
 let create () =
   { counts = IntMap.empty;
     wildcard = IntMap.empty;
     scoped = PairMap.empty;
-    sel_scoped = IntMap.empty }
+    sel_scoped = IntMap.empty;
+    version = 0 }
 
 let copy t =
   { counts = t.counts;
     wildcard = t.wildcard;
     scoped = t.scoped;
-    sel_scoped = t.sel_scoped }
+    sel_scoped = t.sel_scoped;
+    version = t.version }
 
-let set_count t mask c = t.counts <- IntMap.add (mask : Relset.t) c t.counts
+let set_count t mask c =
+  t.counts <- IntMap.add (mask : Relset.t) c t.counts;
+  t.version <- t.version + 1
+
 let count t mask = IntMap.find_opt (mask : Relset.t) t.counts
 
 let set_distinct t ~term ~scope d =
-  match scope with
+  (match scope with
   | Wildcard -> t.wildcard <- IntMap.add term d t.wildcard
   | For_pred p -> t.scoped <- PairMap.add (term, p) d t.scoped
-  | For_select -> t.sel_scoped <- IntMap.add term d t.sel_scoped
+  | For_select -> t.sel_scoped <- IntMap.add term d t.sel_scoped);
+  t.version <- t.version + 1
 
 let distinct t ~term ~pred =
   match IntMap.find_opt term t.wildcard with
@@ -64,3 +71,5 @@ let size t =
   IntMap.cardinal t.counts + IntMap.cardinal t.wildcard
   + PairMap.cardinal t.scoped
   + IntMap.cardinal t.sel_scoped
+
+let version t = t.version

@@ -38,5 +38,13 @@ val has_measurement : t -> term:int -> bool
 
 val counts : t -> (Relset.t * float) list
 val distincts : t -> (int * scope * float) list
+
 val size : t -> int
-(** Total number of entries, a cheap fingerprint for state hashing. *)
+(** Total number of entries. Not a safe fingerprint on its own: an
+    overwrite leaves [size] unchanged — combine with {!version}. *)
+
+val version : t -> int
+(** Monotone write counter: bumped by every [set_count]/[set_distinct],
+    including overwrites, and carried by {!copy}. Two catalogs reached by
+    different write sequences from the same origin never share a
+    (size, version) pair, which is what the MCTS state hash needs. *)

@@ -174,9 +174,11 @@ let preregister reg =
       "exec.tuples_built"; "exec.tuples_probed"; "exec.tuples_emitted";
       "exec.sigma_objects"; "exec.budget_spent"; "exec.fused_ops";
       "exec.scalar_fallbacks"; "fault.injected";
-      "runner.cells"; "runner.retries"; "runner.quarantined";
-      "monitor.ticks"; "server.requests"; "server.ok"; "server.degraded";
-      "server.rejected"; "server.timeout"; "server.error" ];
+      "mcts.transpositions"; "runner.cells"; "runner.retries";
+      "runner.quarantined"; "monitor.ticks"; "server.requests"; "server.ok";
+      "server.degraded"; "server.rejected"; "server.timeout"; "server.error";
+      "repo.lookups"; "repo.hits"; "repo.warm_starts"; "repo.flushes";
+      "repo.entries_written" ];
   List.iter
     (fun n -> ignore (Registry.gauge reg n))
     [ "runner.cells_expected"; "pool.queued"; "pool.in_flight";

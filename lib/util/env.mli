@@ -31,22 +31,35 @@ type profile = ..
 type profile += No_profile
 (** The empty slot; consumers treat it as profiling disabled. *)
 
+type repo = ..
+(** Extension point for the cross-query statistics repository (see
+    [Monsoon_stats_repo.Stats_repo.to_env]); extensible for the same
+    dependency-order reason as {!ctx}. *)
+
+type repo += No_repo
+(** The empty slot; consumers treat it as no repository attached — all
+    warm-start lookups miss and nothing is flushed at query end. *)
+
 type t = {
   ctx : ctx;
   fault : Fault.t;
   deadline : Deadline.t;
   profile : profile;
+  repo : repo;
 }
 
 val default : t
-(** [Null_ctx] + {!Fault.disabled} + {!Deadline.none} + {!No_profile}. *)
+(** [Null_ctx] + {!Fault.disabled} + {!Deadline.none} + {!No_profile}
+    + {!No_repo}. *)
 
 val with_ctx : t -> ctx -> t
 val with_fault : t -> Fault.t -> t
 val with_deadline : t -> Deadline.t -> t
 val with_profile : t -> profile -> t
+val with_repo : t -> repo -> t
 
 val ctx : t -> ctx
 val fault : t -> Fault.t
 val deadline : t -> Deadline.t
 val profile : t -> profile
+val repo : t -> repo

@@ -99,6 +99,18 @@ let test_state_key_distinguishes () =
   let s2 = seeded_state ctx in
   Alcotest.(check bool) "stats differ" true (Mdp.state_key s0 <> Mdp.state_key s2)
 
+(* Regression: an overwrite that leaves every rendered entry identical
+   (same size, same %.4g values) used to collide with the pre-overwrite
+   key — the catalog's write counter now keeps them apart. *)
+let test_state_key_overwrite_no_collision () =
+  let ctx = paper_ctx () in
+  let s = seeded_state ctx in
+  let before = Mdp.state_key s in
+  Stats_catalog.set_distinct s.Mdp.stats ~term:0 ~scope:Stats_catalog.Wildcard
+    1000.0;
+  Alcotest.(check bool) "same-value overwrite changes the key" true
+    (Mdp.state_key s <> before)
+
 let test_terminal () =
   let ctx = paper_ctx () in
   let state = Mdp.init_state ctx in
@@ -256,6 +268,8 @@ let () =
           Alcotest.test_case "plan edit rejects execute" `Quick test_plan_edit_rejects_execute;
           Alcotest.test_case "executed masks" `Quick test_executed_masks;
           Alcotest.test_case "state key" `Quick test_state_key_distinguishes;
+          Alcotest.test_case "state key overwrite collision" `Quick
+            test_state_key_overwrite_no_collision;
           Alcotest.test_case "terminal" `Quick test_terminal ] );
       ( "simulated transitions",
         [ Alcotest.test_case "sigma costs one scan" `Quick test_sigma_s_costs_one_scan;

@@ -212,8 +212,8 @@ let test_experiment_registry () =
   List.iter
     (fun id -> Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
-      "table8"; "figure1"; "figure2"; "figure3" ];
-  Alcotest.(check int) "15 experiments" 15 (List.length ids)
+      "table8"; "figure1"; "figure2"; "figure3"; "warmstart" ];
+  Alcotest.(check int) "16 experiments" 16 (List.length ids)
 
 let () =
   Alcotest.run "harness"

@@ -47,6 +47,30 @@ let test_copy_isolated () =
   Alcotest.(check int) "sizes diverge" 1 (Stats_catalog.size s);
   Alcotest.(check int) "copy grew" 2 (Stats_catalog.size s')
 
+let test_version_counter () =
+  let s = Stats_catalog.create () in
+  Alcotest.(check int) "fresh catalog" 0 (Stats_catalog.version s);
+  Stats_catalog.set_count s 5 123.0;
+  let v1 = Stats_catalog.version s in
+  Alcotest.(check bool) "first write bumps" true (v1 > 0);
+  (* The collision that motivated the counter: an overwrite with the very
+     same value leaves [size] (and every rendered entry) unchanged. *)
+  Stats_catalog.set_count s 5 123.0;
+  Alcotest.(check bool) "same-value overwrite bumps" true
+    (Stats_catalog.version s > v1);
+  Alcotest.(check int) "size blind to the overwrite" 1 (Stats_catalog.size s);
+  Stats_catalog.set_distinct s ~term:0 ~scope:Stats_catalog.Wildcard 9.0;
+  let v2 = Stats_catalog.version s in
+  Stats_catalog.set_distinct s ~term:0 ~scope:Stats_catalog.Wildcard 9.0;
+  Alcotest.(check bool) "distinct overwrite bumps" true
+    (Stats_catalog.version s > v2);
+  let s' = Stats_catalog.copy s in
+  Alcotest.(check int) "copy carries the counter" (Stats_catalog.version s)
+    (Stats_catalog.version s');
+  Stats_catalog.set_count s' 5 123.0;
+  Alcotest.(check bool) "copies diverge independently" true
+    (Stats_catalog.version s' > Stats_catalog.version s)
+
 let test_enumerations () =
   let s = Stats_catalog.create () in
   Stats_catalog.set_count s 3 5.0;
@@ -158,7 +182,8 @@ let () =
           Alcotest.test_case "distinct precedence" `Quick test_distinct_precedence;
           Alcotest.test_case "selection scope" `Quick test_select_scope;
           Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
-          Alcotest.test_case "enumerations" `Quick test_enumerations ] );
+          Alcotest.test_case "enumerations" `Quick test_enumerations;
+          Alcotest.test_case "version counter" `Quick test_version_counter ] );
       ( "priors",
         [ Alcotest.test_case "seven priors" `Quick test_all_priors_listed;
           Alcotest.test_case "by name" `Quick test_by_name;
